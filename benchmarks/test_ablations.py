@@ -1,0 +1,94 @@
+"""Design-choice ablations discussed throughout Sections V-VII.
+
+One benchmark per variant, all on the COMMONCRAWL-like corpus (where the LCP
+machinery matters most) and on a DNA corpus for the prefix-doubling knobs:
+
+* MS-simple -> MS             : LCP compression + LCP merging
+* MS string vs character sampling
+* MS central vs hQuick sample sorting
+* PDMS epsilon (growth factor) sweep
+* PDMS with / without Golomb coding
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_experiment, scaled
+from repro.bench.harness import ExperimentResult, ExperimentRunner
+from repro.dist.api import distribute_strings
+from repro.strings.generators import commoncrawl_like, dna_reads
+
+_RUNNER = ExperimentRunner(seed=4)
+P = 8
+
+_WEB = distribute_strings(commoncrawl_like(scaled(6000), seed=8), P, by="chars")
+_DNA = distribute_strings(dna_reads(scaled(5000), seed=9), P, by="chars")
+
+_RESULT = ExperimentResult(
+    name="ablations",
+    description="Design-choice ablations (COMMONCRAWL-like and DNAREADS-like corpora)",
+)
+
+VARIANTS = [
+    # (label, algorithm, blocks, options)
+    ("web/ms-simple", "ms-simple", "_WEB", {}),
+    ("web/ms", "ms", "_WEB", {}),
+    ("web/ms-char-sampling", "ms", "_WEB", {"sampling": "character"}),
+    ("web/ms-hquick-samples", "ms", "_WEB", {"sample_sort": "hquick"}),
+    ("web/pdms", "pdms", "_WEB", {}),
+    ("dna/pdms-eps0.5", "pdms", "_DNA", {"epsilon": 0.5}),
+    ("dna/pdms-eps1", "pdms", "_DNA", {}),
+    ("dna/pdms-eps3", "pdms", "_DNA", {"epsilon": 3.0}),
+    ("dna/pdms-golomb", "pdms-golomb", "_DNA", {}),
+    ("dna/ms", "ms", "_DNA", {}),
+]
+
+
+@pytest.mark.parametrize("label, algorithm, blocks_name, options", VARIANTS)
+def test_ablation_cell(benchmark, label, algorithm, blocks_name, options):
+    blocks = _WEB if blocks_name == "_WEB" else _DNA
+    cell = benchmark.pedantic(
+        _RUNNER.run_cell,
+        args=(_RESULT.name, algorithm, P, label, blocks),
+        kwargs=options,
+        rounds=1,
+        iterations=1,
+    )
+    cell.extra["variant"] = label
+    _RESULT.add(cell)
+    benchmark.extra_info["bytes_per_string"] = round(cell.bytes_per_string, 2)
+
+
+def test_ablation_render_and_shape(benchmark):
+    benchmark(lambda: _RESULT.render("bytes_per_string"))
+    print_experiment(_RESULT)
+
+    def volume(label):
+        return next(c for c in _RESULT.cells if c.extra["variant"] == label).bytes_per_string
+
+    # LCP compression is the dominant saving on web text
+    assert volume("web/ms") < volume("web/ms-simple")
+    # the sampling scheme and the sample sorter do not change the exchange
+    # volume materially (they affect balance/latency, not payload)
+    assert volume("web/ms-char-sampling") == pytest.approx(volume("web/ms"), rel=0.35)
+    assert volume("web/ms-hquick-samples") == pytest.approx(volume("web/ms"), rel=0.35)
+
+    def cell(label):
+        return next(c for c in _RESULT.cells if c.extra["variant"] == label)
+
+    # finer growth factors approximate D more tightly (smaller exchange
+    # payload) at the price of more duplicate-detection rounds — the tradeoff
+    # Section VI-A describes for the choice of epsilon
+    assert (
+        cell("dna/pdms-eps0.5").extra["phase_bytes"]["exchange"]
+        <= cell("dna/pdms-eps3").extra["phase_bytes"]["exchange"] * 1.05
+    )
+    assert (
+        cell("dna/pdms-eps0.5").extra["doubling_rounds"]
+        >= cell("dna/pdms-eps3").extra["doubling_rounds"]
+    )
+    # Golomb coding never increases the volume
+    assert volume("dna/pdms-golomb") <= volume("dna/pdms-eps1") * 1.02
+    # prefix doubling beats MS on the DNA corpus
+    assert volume("dna/pdms-eps1") < volume("dna/ms")

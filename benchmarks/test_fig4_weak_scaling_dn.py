@@ -1,0 +1,106 @@
+"""Figure 4: weak scaling on the synthetic D/N inputs.
+
+The paper's main experiment: five D/N ratios (0, 0.25, 0.5, 0.75, 1.0),
+six algorithms, weak scaling over the machine size; the upper panel reports
+running time, the lower panel bytes sent per string.
+
+Reproduced here at reduced scale.  Expected shape (paper, Section VII-D):
+
+* hQuick is outclassed by all string sorters;
+* MS-simple consistently beats FKmerge and hQuick;
+* MS improves on MS-simple, more so for larger D/N (longer LCPs);
+* the PDMS variants give a further large improvement when D/N is not too
+  large, and are roughly on par with (slightly behind) MS at D/N = 1;
+* Golomb coding has little effect on running time and a modest effect on
+  communication volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_experiment, scaled
+from repro.bench.experiments import DEFAULT_ALGORITHMS
+from repro.bench.harness import ExperimentResult, ExperimentRunner
+from repro.strings.generators import dn_instance_for_pes
+
+DN_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+PE_COUNTS = (2, 4, 8)
+STRINGS_PER_PE = scaled(700)
+STRING_LENGTH = 160
+
+_RESULTS: dict[float, ExperimentResult] = {}
+# every simulated character stands for the corresponding share of the paper's
+# 500k x 500-char per-PE input, so the modelled-time panel sits in the same
+# bandwidth/latency regime as the original experiment (volumes are unaffected)
+from repro.net import DEFAULT_MACHINE  # noqa: E402
+
+_DATA_SCALE = (500_000 * 500) / (STRINGS_PER_PE * STRING_LENGTH)
+_RUNNER = ExperimentRunner(machine=DEFAULT_MACHINE.with_data_scale(_DATA_SCALE), seed=0)
+
+
+def _blocks(num_pes: int, dn: float):
+    return dn_instance_for_pes(
+        num_pes, STRINGS_PER_PE, dn, length=STRING_LENGTH, seed=17
+    )
+
+
+def _get_result(dn: float) -> ExperimentResult:
+    if dn not in _RESULTS:
+        _RESULTS[dn] = ExperimentResult(
+            name=f"fig4-weak-dn-{dn:g}",
+            description=(
+                f"Weak scaling, D/N={dn:g}, {STRINGS_PER_PE} strings x "
+                f"{STRING_LENGTH} chars per PE (paper: Fig. 4)"
+            ),
+        )
+    return _RESULTS[dn]
+
+
+@pytest.mark.parametrize("dn", DN_VALUES)
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_fig4_cell(benchmark, dn, algorithm):
+    """Time one cell of Figure 4 (largest PE count) and record its volume."""
+    result = _get_result(dn)
+    # smaller PE counts are measured once outside the timed region so the
+    # scaling series is complete without inflating benchmark time
+    for p in PE_COUNTS[:-1]:
+        cell = _RUNNER.run_cell(result.name, algorithm, p, f"dn={dn:g}", _blocks(p, dn))
+        result.add(cell)
+
+    p = PE_COUNTS[-1]
+    blocks = _blocks(p, dn)
+    cell = benchmark.pedantic(
+        _RUNNER.run_cell,
+        args=(result.name, algorithm, p, f"dn={dn:g}", blocks),
+        rounds=1,
+        iterations=1,
+    )
+    result.add(cell)
+    benchmark.extra_info["bytes_per_string"] = round(cell.bytes_per_string, 2)
+    benchmark.extra_info["modeled_time"] = cell.modeled_time
+    benchmark.extra_info["dn"] = dn
+
+
+@pytest.mark.parametrize("dn", DN_VALUES)
+def test_fig4_render_and_shape(benchmark, dn):
+    """Render the per-D/N panel and assert the paper's qualitative ordering."""
+    result = _get_result(dn)
+    benchmark(lambda: result.render("bytes_per_string"))
+    print_experiment(result)
+
+    p = PE_COUNTS[-1]
+
+    def volume(alg):
+        return result.filter(algorithm=alg, num_pes=p)[0].bytes_per_string
+
+    # string sorters beat the atomic baseline on communication volume
+    assert volume("ms") < volume("hquick")
+    assert volume("ms-simple") < volume("hquick")
+    # LCP compression helps, and helps more for large D/N (long LCPs)
+    if dn >= 0.25:
+        assert volume("ms") < volume("ms-simple")
+    # prefix doubling wins when D/N is small
+    if dn <= 0.5:
+        assert volume("pdms") < volume("ms-simple")
+        assert volume("pdms-golomb") <= volume("pdms") * 1.05

@@ -1,0 +1,81 @@
+"""Figure 5, left panel: strong scaling on the COMMONCRAWL corpus.
+
+The paper's COMMONCRAWL instance (82 GB of web-page text, D/N = 0.68) is
+replaced by the calibrated synthetic corpus of
+``repro.strings.generators.commoncrawl_like`` (see DESIGN.md).
+
+Expected shape (Section VII-D): the LCP optimisations are very effective
+(algorithms with LCP compression are 2.6-3.5x faster than MS-simple at scale,
+and clearly cheaper in communication volume), while prefix doubling itself
+does not help much because D/N is large; FKmerge is reported to crash on this
+input in the paper (many repeated strings) — our reimplementation handles it,
+so its series exists here and is simply slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_experiment, scaled
+from repro.bench.experiments import DEFAULT_ALGORITHMS
+from repro.bench.harness import ExperimentResult, ExperimentRunner
+from repro.dist.api import distribute_strings
+from repro.strings.generators import commoncrawl_like
+
+PE_COUNTS = (2, 4, 8, 16)
+NUM_STRINGS = scaled(8000)
+
+from repro.net import DEFAULT_MACHINE  # noqa: E402
+
+_CORPUS = commoncrawl_like(NUM_STRINGS, seed=7)
+# the real COMMONCRAWL instance is 82 GB; scale the machine model so the
+# modelled-time panel reflects the paper's bandwidth-dominated regime
+_DATA_SCALE = 82e9 / max(1, sum(len(s) for s in _CORPUS))
+_RUNNER = ExperimentRunner(machine=DEFAULT_MACHINE.with_data_scale(_DATA_SCALE), seed=1)
+_RESULT = ExperimentResult(
+    name="fig5-left-commoncrawl",
+    description=f"Strong scaling, COMMONCRAWL-like corpus ({NUM_STRINGS} lines)",
+)
+
+
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_fig5_commoncrawl_cell(benchmark, algorithm):
+    for p in PE_COUNTS[:-1]:
+        blocks = distribute_strings(_CORPUS, p, by="chars")
+        _RESULT.add(_RUNNER.run_cell(_RESULT.name, algorithm, p, "commoncrawl", blocks))
+
+    p = PE_COUNTS[-1]
+    blocks = distribute_strings(_CORPUS, p, by="chars")
+    cell = benchmark.pedantic(
+        _RUNNER.run_cell,
+        args=(_RESULT.name, algorithm, p, "commoncrawl", blocks),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULT.add(cell)
+    benchmark.extra_info["bytes_per_string"] = round(cell.bytes_per_string, 2)
+
+
+def test_fig5_commoncrawl_render_and_shape(benchmark):
+    benchmark(lambda: _RESULT.render("bytes_per_string"))
+    print_experiment(_RESULT)
+
+    p = PE_COUNTS[-1]
+
+    def volume(alg):
+        return _RESULT.filter(algorithm=alg, num_pes=p)[0].bytes_per_string
+
+    # LCP compression is the big win on web text (long LCPs, many duplicates)
+    assert volume("ms") < 0.8 * volume("ms-simple")
+    # prefix doubling stays competitive but is not required to win here
+    assert volume("pdms") < volume("ms-simple")
+    # the atomic baseline moves the most data
+    assert volume("hquick") > volume("ms")
+    # strong scaling: per-string volume grows with p for every algorithm but
+    # the ordering of the series is stable across the sweep
+    for alg in ("ms", "pdms"):
+        series = [
+            _RESULT.filter(algorithm=alg, num_pes=q)[0].bytes_per_string
+            for q in PE_COUNTS
+        ]
+        assert series == sorted(series)

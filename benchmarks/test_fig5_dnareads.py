@@ -1,0 +1,71 @@
+"""Figure 5, right panel: strong scaling on the DNAREADS corpus.
+
+The paper's DNAREADS instance (125 GB of 1000-Genomes WGS reads, alphabet
+{A,C,G,T}, D/N = 0.38) is replaced by the calibrated synthetic read set of
+``repro.strings.generators.dna_reads``.
+
+Expected shape (Section VII-D): the prefix-doubling algorithms achieve
+considerable savings in communication volume, but MS / MS-simple remain
+slightly faster in running time (the savings do not outweigh the extra
+duplicate-detection rounds on this input); FKmerge works but scales poorly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_experiment, scaled
+from repro.bench.experiments import DEFAULT_ALGORITHMS
+from repro.bench.harness import ExperimentResult, ExperimentRunner
+from repro.dist.api import distribute_strings
+from repro.strings.generators import dna_reads
+
+PE_COUNTS = (2, 4, 8, 16)
+NUM_READS = scaled(6000)
+
+from repro.net import DEFAULT_MACHINE  # noqa: E402
+
+_CORPUS = dna_reads(NUM_READS, seed=11)
+# the real DNAREADS instance is 125 GB; scale the machine model accordingly
+_DATA_SCALE = 125e9 / max(1, sum(len(s) for s in _CORPUS))
+_RUNNER = ExperimentRunner(machine=DEFAULT_MACHINE.with_data_scale(_DATA_SCALE), seed=2)
+_RESULT = ExperimentResult(
+    name="fig5-right-dnareads",
+    description=f"Strong scaling, DNAREADS-like corpus ({NUM_READS} reads)",
+)
+
+
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_fig5_dnareads_cell(benchmark, algorithm):
+    for p in PE_COUNTS[:-1]:
+        blocks = distribute_strings(_CORPUS, p, by="chars")
+        _RESULT.add(_RUNNER.run_cell(_RESULT.name, algorithm, p, "dnareads", blocks))
+
+    p = PE_COUNTS[-1]
+    blocks = distribute_strings(_CORPUS, p, by="chars")
+    cell = benchmark.pedantic(
+        _RUNNER.run_cell,
+        args=(_RESULT.name, algorithm, p, "dnareads", blocks),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULT.add(cell)
+    benchmark.extra_info["bytes_per_string"] = round(cell.bytes_per_string, 2)
+
+
+def test_fig5_dnareads_render_and_shape(benchmark):
+    benchmark(lambda: _RESULT.render("bytes_per_string"))
+    print_experiment(_RESULT)
+
+    p = PE_COUNTS[-1]
+
+    def volume(alg):
+        return _RESULT.filter(algorithm=alg, num_pes=p)[0].bytes_per_string
+
+    # prefix doubling saves a lot of volume on reads (D/N well below 1)
+    assert volume("pdms") < 0.6 * volume("ms")
+    assert volume("pdms-golomb") <= volume("pdms") * 1.05
+    # plain LCP compression helps only mildly (reads share shorter prefixes)
+    assert volume("ms") <= volume("ms-simple")
+    # the atomic baseline is the most expensive
+    assert volume("hquick") > volume("ms-simple")

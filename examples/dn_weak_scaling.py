@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Weak-scaling study over the tunable D/N inputs (Figure 4, reduced scale).
+
+Reproduces the structure of the paper's main experiment: for each ratio
+D/N in {0, 0.25, 0.5, 0.75, 1.0}, run all six algorithms while growing the
+machine (weak scaling: the per-PE input stays constant) and print both panels
+of Figure 4 — modelled running time and bytes sent per string — as text
+tables.
+
+Run with::
+
+    python examples/dn_weak_scaling.py [strings_per_pe]
+
+The default size finishes in a couple of minutes; pass a larger value to
+sharpen the trends.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ExperimentRunner, weak_scaling_dn
+from repro.net import DEFAULT_MACHINE
+
+
+def main() -> None:
+    strings_per_pe = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    string_length = 150
+
+    # the paper runs 500 000 strings x 500 chars per PE; scale the machine
+    # model so each simulated character stands for the corresponding amount
+    # of real data (keeps the latency/bandwidth balance of the original runs)
+    scale = (500_000 * 500) / (strings_per_pe * string_length)
+    runner = ExperimentRunner(machine=DEFAULT_MACHINE.with_data_scale(scale), seed=3)
+
+    results = weak_scaling_dn(
+        dn_values=(0.0, 0.25, 0.5, 0.75, 1.0),
+        pe_counts=(2, 4, 8),
+        strings_per_pe=strings_per_pe,
+        string_length=string_length,
+        runner=runner,
+        seed=3,
+    )
+
+    for res in results:
+        print("=" * 72)
+        print(res.description)
+        print()
+        print(res.render("bytes_per_string"))
+        print()
+        print(res.render("modeled_time"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

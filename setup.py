@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept so that ``python setup.py develop`` works on environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package
+available offline); all metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

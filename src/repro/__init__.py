@@ -1,0 +1,57 @@
+"""repro — reproduction of "Communication-Efficient String Sorting" (IPDPS 2020).
+
+The package implements the paper's distributed string sorting algorithms
+(hQuick, FKmerge, MS, MS-simple, PDMS, PDMS-Golomb) on top of a simulated
+distributed-memory machine with exact communication-volume accounting, plus
+the full sequential string-sorting substrate (MSD radix sort, multikey
+quicksort, LCP insertion sort, LCP loser trees) they rely on.
+
+Quickstart::
+
+    from repro import dsort
+    from repro.strings import dn_instance
+
+    data = dn_instance(num_strings=20_000, dn=0.5, length=64, seed=1)
+    result = dsort(data, algorithm="ms", num_pes=8, check=True)
+    print(result.bytes_per_string(), result.modeled_time())
+"""
+
+from .dist import (
+    ALGORITHMS,
+    DSortResult,
+    dsort,
+    distribute_strings,
+    ms_sort,
+    pdms_sort,
+    hquick_sort,
+    fkmerge_sort,
+    MSConfig,
+    PDMSConfig,
+)
+from .mpi import Communicator, run_spmd
+from .net import MachineModel, DEFAULT_MACHINE
+from .sequential import sort_strings, sort_strings_with_lcp
+from .strings import StringSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "DSortResult",
+    "dsort",
+    "distribute_strings",
+    "ms_sort",
+    "pdms_sort",
+    "hquick_sort",
+    "fkmerge_sort",
+    "MSConfig",
+    "PDMSConfig",
+    "Communicator",
+    "run_spmd",
+    "MachineModel",
+    "DEFAULT_MACHINE",
+    "sort_strings",
+    "sort_strings_with_lcp",
+    "StringSet",
+    "__version__",
+]

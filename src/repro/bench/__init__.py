@@ -1,0 +1,28 @@
+"""Benchmark harness: experiment runner and canned figure/table reproductions."""
+
+from .harness import CellResult, ExperimentResult, ExperimentRunner, format_table
+from .experiments import (
+    DEFAULT_ALGORITHMS,
+    weak_scaling_dn,
+    strong_scaling_commoncrawl,
+    strong_scaling_dnareads,
+    strong_scaling_corpus,
+    suffix_instance_experiment,
+    skewed_sampling_experiment,
+    ablation_lcp_golomb,
+)
+
+__all__ = [
+    "CellResult",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "format_table",
+    "DEFAULT_ALGORITHMS",
+    "weak_scaling_dn",
+    "strong_scaling_commoncrawl",
+    "strong_scaling_dnareads",
+    "strong_scaling_corpus",
+    "suffix_instance_experiment",
+    "skewed_sampling_experiment",
+    "ablation_lcp_golomb",
+]

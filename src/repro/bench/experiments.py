@@ -1,0 +1,257 @@
+"""Canned experiment definitions — one per table / figure of the paper.
+
+Each function returns an :class:`repro.bench.harness.ExperimentResult` whose
+series mirror the corresponding figure:
+
+* :func:`weak_scaling_dn`          — Figure 4 (weak scaling over the D/N inputs),
+* :func:`strong_scaling_commoncrawl` — Figure 5, left panel,
+* :func:`strong_scaling_dnareads`  — Figure 5, right panel,
+* :func:`suffix_instance_experiment` — Section VII-E suffix-sorting instance,
+* :func:`skewed_sampling_experiment` — Section VII-E skewed D/N instance
+  (string- vs character-based sampling),
+* :func:`ablation_lcp_golomb`      — the MS / PDMS feature ablations discussed
+  throughout Section VII-D.
+
+The paper runs 500 000 strings x 500 characters per PE on 20..1280 cores; a
+pure-Python simulation reproduces the *shape* of those plots at a reduced
+scale, controlled by the ``strings_per_pe`` / ``pe_counts`` arguments whose
+defaults are sized for minutes-not-hours runtimes.  EXPERIMENTS.md records a
+paper-vs-measured comparison produced with these defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..dist.api import distribute_strings
+from ..strings import generators
+from .harness import ExperimentResult, ExperimentRunner
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "weak_scaling_dn",
+    "strong_scaling_commoncrawl",
+    "strong_scaling_dnareads",
+    "strong_scaling_corpus",
+    "suffix_instance_experiment",
+    "skewed_sampling_experiment",
+    "ablation_lcp_golomb",
+]
+
+# the six series of Figures 4 and 5
+DEFAULT_ALGORITHMS = ("fkmerge", "hquick", "ms-simple", "ms", "pdms-golomb", "pdms")
+
+
+def weak_scaling_dn(
+    dn_values: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    pe_counts: Sequence[int] = (2, 4, 8, 16),
+    strings_per_pe: int = 1500,
+    string_length: int = 200,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Figure 4: weak scaling on the synthetic D/N instances.
+
+    The paper uses strings of length 500 and 500 000 strings per PE on
+    20..1280 PEs; the defaults here shrink both so the experiment completes
+    in a simulation, while keeping enough strings per PE for the sampling
+    and duplicate-detection machinery to behave realistically.
+
+    Returns one :class:`ExperimentResult` per D/N value (matching the five
+    columns of Figure 4).
+    """
+    runner = runner or ExperimentRunner(seed=seed)
+    results: List[ExperimentResult] = []
+    for dn in dn_values:
+        def factory(num_pes: int, seed_: int, dn=dn) -> List[List[bytes]]:
+            return generators.dn_instance_for_pes(
+                num_pes, strings_per_pe, dn, length=string_length, seed=seed_
+            )
+
+        res = runner.sweep(
+            experiment=f"fig4-weak-dn-{dn:g}",
+            description=(
+                f"Weak scaling, D/N={dn:g}, {strings_per_pe} strings of length "
+                f"{string_length} per PE (paper: Fig. 4, column D/N={dn:g})"
+            ),
+            algorithms=algorithms,
+            pe_counts=pe_counts,
+            input_factory=factory,
+            input_name=f"dn={dn:g}",
+        )
+        results.append(res)
+    return results
+
+
+def strong_scaling_corpus(
+    corpus: Sequence[bytes],
+    name: str,
+    experiment: str,
+    pe_counts: Sequence[int] = (2, 4, 8, 16),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: Optional[ExperimentRunner] = None,
+    distribute_by: str = "chars",
+) -> ExperimentResult:
+    """Strong scaling on a fixed corpus (the pattern of both Figure 5 panels)."""
+    runner = runner or ExperimentRunner()
+    corpus = list(corpus)
+
+    def factory(num_pes: int, _seed: int) -> List[List[bytes]]:
+        return distribute_strings(corpus, num_pes, by=distribute_by)
+
+    return runner.sweep(
+        experiment=experiment,
+        description=f"Strong scaling on the {name} corpus ({len(corpus)} strings)",
+        algorithms=algorithms,
+        pe_counts=pe_counts,
+        input_factory=factory,
+        input_name=name,
+        input_stats=True,
+    )
+
+
+def strong_scaling_commoncrawl(
+    num_strings: int = 12_000,
+    pe_counts: Sequence[int] = (2, 4, 8, 16),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 5, left panel: strong scaling on the COMMONCRAWL-like corpus."""
+    corpus = generators.commoncrawl_like(num_strings, seed=seed)
+    return strong_scaling_corpus(
+        corpus,
+        name="commoncrawl",
+        experiment="fig5-left-commoncrawl",
+        pe_counts=pe_counts,
+        algorithms=algorithms,
+        runner=runner,
+    )
+
+
+def strong_scaling_dnareads(
+    num_strings: int = 8_000,
+    pe_counts: Sequence[int] = (2, 4, 8, 16),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 5, right panel: strong scaling on the DNAREADS-like corpus."""
+    corpus = generators.dna_reads(num_strings, seed=seed)
+    return strong_scaling_corpus(
+        corpus,
+        name="dnareads",
+        experiment="fig5-right-dnareads",
+        pe_counts=pe_counts,
+        algorithms=algorithms,
+        runner=runner,
+    )
+
+
+def suffix_instance_experiment(
+    text_len: int = 6_000,
+    max_suffix_len: int = 400,
+    pe_counts: Sequence[int] = (4, 8),
+    algorithms: Sequence[str] = ("ms", "pdms", "pdms-golomb", "fkmerge"),
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Section VII-E suffix instance: all suffixes of a text, D/N << 1.
+
+    The paper reports PDMS about 30x faster than every other algorithm on
+    p=160 because only the tiny distinguishing prefixes are communicated; the
+    reproduction checks that PDMS's communication volume is a small fraction
+    of MS's.
+    """
+    corpus = generators.suffix_instance(
+        text_len=text_len, max_suffix_len=max_suffix_len, seed=seed
+    )
+    return strong_scaling_corpus(
+        corpus,
+        name="wiki-suffixes",
+        experiment="sec7e-suffix",
+        pe_counts=pe_counts,
+        algorithms=algorithms,
+        runner=runner,
+        distribute_by="strings",
+    )
+
+
+def skewed_sampling_experiment(
+    num_strings: int = 8_000,
+    dn: float = 0.5,
+    length: int = 120,
+    pe_counts: Sequence[int] = (4, 8),
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Section VII-E skewed instance: string- vs character-based sampling.
+
+    The 20 % smallest strings are padded to 4x length without contributing to
+    the distinguishing prefix, so string-based sampling mis-balances the
+    output character counts while character-based sampling keeps them even —
+    measured by the ``imbalance`` column of the result cells.
+    """
+    runner = runner or ExperimentRunner(seed=seed)
+    corpus = generators.skewed_dn_instance(num_strings, dn, length=length, seed=seed)
+
+    def factory(num_pes: int, _seed: int) -> List[List[bytes]]:
+        return distribute_strings(corpus, num_pes, by="strings")
+
+    out = ExperimentResult(
+        name="sec7e-skewed-sampling",
+        description="Skewed D/N instance; MS with string- vs character-based sampling",
+    )
+    for p in pe_counts:
+        blocks = factory(p, seed)
+        for scheme in ("string", "character"):
+            cell = runner.run_cell(
+                "sec7e-skewed-sampling",
+                "ms",
+                p,
+                f"skewed-{scheme}",
+                blocks,
+                sampling=scheme,
+            )
+            cell.extra["sampling"] = scheme
+            out.add(cell)
+    return out
+
+
+def ablation_lcp_golomb(
+    num_strings: int = 8_000,
+    pe_counts: Sequence[int] = (8,),
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Feature ablations: LCP compression, LCP merging, Golomb coding, sampling.
+
+    Quantifies each design choice in isolation on the COMMONCRAWL-like
+    corpus, the workload where Section VII-D reports the LCP optimisations to
+    matter most.
+    """
+    runner = runner or ExperimentRunner(seed=seed)
+    corpus = generators.commoncrawl_like(num_strings, seed=seed)
+
+    out = ExperimentResult(
+        name="ablations",
+        description="MS/PDMS design-choice ablations on the COMMONCRAWL-like corpus",
+    )
+    variants = [
+        ("ms-simple", "ms-simple", {}),
+        ("ms", "ms", {}),
+        ("ms-char-sampling", "ms", {"sampling": "character"}),
+        ("ms-hquick-sample-sort", "ms", {"sample_sort": "hquick"}),
+        ("pdms", "pdms", {}),
+        ("pdms-golomb", "pdms-golomb", {}),
+        ("pdms-eps-0.5", "pdms", {"epsilon": 0.5}),
+        ("pdms-eps-3", "pdms", {"epsilon": 3.0}),
+    ]
+    for p in pe_counts:
+        blocks = distribute_strings(corpus, p, by="chars")
+        for label, alg, opts in variants:
+            cell = runner.run_cell("ablations", alg, p, label, blocks, **opts)
+            cell.extra["variant"] = label
+            out.add(cell)
+    return out

@@ -1,0 +1,245 @@
+"""Experiment driver for reproducing the paper's tables and figures.
+
+The harness runs one distributed-sort configuration per *cell* of a figure
+(algorithm x number of PEs x input) and collects, for each cell,
+
+* the exact communication volume (total bytes sent, bytes sent per string —
+  the lower panels of Figures 4 and 5),
+* the modelled running time under the alpha-beta machine model plus modelled
+  local work (the upper panels; absolute values are not comparable to the
+  paper's cluster but the relative ordering and crossovers are),
+* the measured wall-clock time of the simulation (reported for transparency,
+  dominated by Python-level local work),
+* auxiliary data (splitter imbalance, prefix-doubling rounds, D/N of the
+  input) used by the ablation benchmarks.
+
+Results render as aligned text tables whose rows mirror the series of the
+paper's plots, and can be dumped as JSON for archival in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..dist.api import DSortResult, dsort
+from ..net.cost_model import DEFAULT_MACHINE, MachineModel
+from ..strings.lcp import dn_ratio
+
+__all__ = ["CellResult", "ExperimentResult", "ExperimentRunner", "format_table"]
+
+
+@dataclass
+class CellResult:
+    """One (algorithm, num_pes, input) measurement."""
+
+    experiment: str
+    algorithm: str
+    num_pes: int
+    input_name: str
+    num_strings: int
+    num_chars: int
+    total_bytes_sent: int
+    bytes_per_string: float
+    modeled_time: float
+    modeled_comm_time: float
+    modeled_local_time: float
+    wall_time: float
+    imbalance: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment (one figure / table)."""
+
+    name: str
+    description: str
+    cells: List[CellResult] = field(default_factory=list)
+
+    def add(self, cell: CellResult) -> None:
+        self.cells.append(cell)
+
+    def filter(self, **criteria) -> List[CellResult]:
+        out = []
+        for c in self.cells:
+            if all(getattr(c, k) == v for k, v in criteria.items()):
+                out.append(c)
+        return out
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for c in self.cells:
+            if c.algorithm not in seen:
+                seen.append(c.algorithm)
+        return seen
+
+    def pe_counts(self) -> List[int]:
+        return sorted({c.num_pes for c in self.cells})
+
+    def input_names(self) -> List[str]:
+        seen: List[str] = []
+        for c in self.cells:
+            if c.input_name not in seen:
+                seen.append(c.input_name)
+        return seen
+
+    # -- rendering -------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "cells": [c.as_dict() for c in self.cells],
+            },
+            indent=2,
+        )
+
+    def render(self, metric: str = "bytes_per_string") -> str:
+        """Render one metric as a table: rows = algorithms, columns = PE counts.
+
+        One table per input, mirroring the panels of the paper's figures.
+        """
+        blocks: List[str] = []
+        for input_name in self.input_names():
+            header = [f"{self.name} [{input_name}] — {metric}"]
+            pes = sorted({c.num_pes for c in self.cells if c.input_name == input_name})
+            rows = []
+            for alg in self.algorithms():
+                row: List[str] = [alg]
+                for p in pes:
+                    cells = self.filter(
+                        algorithm=alg, num_pes=p, input_name=input_name
+                    )
+                    if cells:
+                        value = getattr(cells[0], metric)
+                        row.append(_fmt_value(value))
+                    else:
+                        row.append("-")
+                rows.append(row)
+            table = format_table(["algorithm"] + [f"p={p}" for p in pes], rows)
+            blocks.append("\n".join(header) + "\n" + table)
+        return "\n\n".join(blocks)
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text aligned table (no external dependencies)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    for row in rows:
+        lines.append(fmt.format(*[str(c) for c in row]))
+    return "\n".join(lines)
+
+
+def _imbalance(result: DSortResult) -> float:
+    """Max/avg ratio of the output character counts over PEs (load balance)."""
+    sizes = [sum(len(s) for s in part) for part in result.outputs_per_pe]
+    nonzero = [s for s in sizes if s] or [0]
+    avg = sum(sizes) / len(sizes) if sizes else 0
+    if avg == 0:
+        return 1.0
+    return max(sizes) / avg
+
+
+class ExperimentRunner:
+    """Runs algorithm x scale sweeps over named inputs."""
+
+    def __init__(
+        self,
+        machine: MachineModel = DEFAULT_MACHINE,
+        check: bool = False,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.check = check
+        self.seed = seed
+
+    def run_cell(
+        self,
+        experiment: str,
+        algorithm: str,
+        num_pes: int,
+        input_name: str,
+        blocks: Sequence[Sequence[bytes]],
+        **options,
+    ) -> CellResult:
+        """Run one algorithm on one pre-distributed input."""
+        t0 = time.perf_counter()
+        result = dsort(
+            blocks,
+            algorithm=algorithm,
+            pre_distributed=True,
+            check=self.check,
+            seed=self.seed,
+            **options,
+        )
+        wall = time.perf_counter() - t0
+        report = result.report
+        num_strings = result.num_strings
+        cell = CellResult(
+            experiment=experiment,
+            algorithm=algorithm,
+            num_pes=num_pes,
+            input_name=input_name,
+            num_strings=num_strings,
+            num_chars=result.num_chars,
+            total_bytes_sent=report.total_bytes_sent,
+            bytes_per_string=report.bytes_per_string(num_strings),
+            modeled_time=report.modeled_total_time(self.machine),
+            modeled_comm_time=report.modeled_comm_time(self.machine),
+            modeled_local_time=report.modeled_local_time(self.machine),
+            wall_time=wall,
+            imbalance=_imbalance(result),
+            extra=dict(result.extra),
+        )
+        cell.extra["phase_bytes"] = dict(report.phase_bytes)
+        return cell
+
+    def sweep(
+        self,
+        experiment: str,
+        description: str,
+        algorithms: Sequence[str],
+        pe_counts: Sequence[int],
+        input_factory: Callable[[int, int], Sequence[Sequence[bytes]]],
+        input_name: str = "input",
+        input_stats: bool = False,
+        **options,
+    ) -> ExperimentResult:
+        """Run ``algorithms x pe_counts``; the input may depend on ``num_pes``.
+
+        ``input_factory(num_pes, seed)`` returns the per-PE blocks (so weak
+        scaling can grow the input with the machine while strong scaling
+        returns slices of a fixed corpus).
+        """
+        out = ExperimentResult(name=experiment, description=description)
+        for p in pe_counts:
+            blocks = input_factory(p, self.seed)
+            stats_extra: Dict[str, object] = {}
+            if input_stats:
+                flat = [s for b in blocks for s in b]
+                stats_extra["dn_ratio"] = round(dn_ratio(flat), 4)
+            for alg in algorithms:
+                cell = self.run_cell(
+                    experiment, alg, p, input_name, blocks, **options
+                )
+                cell.extra.update(stats_extra)
+                out.add(cell)
+        return out

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three subcommands cover the workflows a downstream user needs most often:
+
+* ``sort``        — sort a file of newline-separated strings (or a generated
+                    workload) with any of the paper's algorithms and report
+                    the communication metrics;
+* ``experiment``  — run one of the canned figure reproductions and print its
+                    tables (optionally dump JSON);
+* ``generate``    — write one of the synthetic workloads to a file, e.g. to
+                    feed external tools.
+
+The CLI is deliberately thin: it only parses arguments and delegates to the
+library (``repro.dist.api``, ``repro.bench``), so everything it does is also
+available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .bench import experiments as canned
+from .bench.harness import ExperimentRunner
+from .dist.api import ALGORITHMS, dsort
+from .net.cost_model import DEFAULT_MACHINE
+from .strings import generators
+from .strings.lcp import dn_ratio
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "dn0": lambda n, seed: generators.dn_instance(n, 0.0, length=100, seed=seed),
+    "dn25": lambda n, seed: generators.dn_instance(n, 0.25, length=100, seed=seed),
+    "dn50": lambda n, seed: generators.dn_instance(n, 0.5, length=100, seed=seed),
+    "dn75": lambda n, seed: generators.dn_instance(n, 0.75, length=100, seed=seed),
+    "dn100": lambda n, seed: generators.dn_instance(n, 1.0, length=100, seed=seed),
+    "commoncrawl": lambda n, seed: generators.commoncrawl_like(n, seed=seed),
+    "dnareads": lambda n, seed: generators.dna_reads(n, seed=seed),
+    "random": lambda n, seed: generators.random_strings(n, 1, 30, seed=seed),
+    "skewed": lambda n, seed: generators.skewed_dn_instance(n, 0.5, length=100, seed=seed),
+    "suffixes": lambda n, seed: generators.suffix_instance(
+        text_len=n, max_suffix_len=500, seed=seed
+    ),
+}
+
+_EXPERIMENTS = {
+    "fig4": lambda runner: canned.weak_scaling_dn(
+        pe_counts=(2, 4, 8), strings_per_pe=600, string_length=150, runner=runner
+    ),
+    "fig5-commoncrawl": lambda runner: [
+        canned.strong_scaling_commoncrawl(num_strings=6000, pe_counts=(2, 4, 8), runner=runner)
+    ],
+    "fig5-dnareads": lambda runner: [
+        canned.strong_scaling_dnareads(num_strings=5000, pe_counts=(2, 4, 8), runner=runner)
+    ],
+    "suffix": lambda runner: [
+        canned.suffix_instance_experiment(text_len=4000, pe_counts=(4, 8), runner=runner)
+    ],
+    "skewed": lambda runner: [
+        canned.skewed_sampling_experiment(num_strings=5000, pe_counts=(4, 8), runner=runner)
+    ],
+    "ablations": lambda runner: [
+        canned.ablation_lcp_golomb(num_strings=5000, pe_counts=(8,), runner=runner)
+    ],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Communication-Efficient String Sorting' (IPDPS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="sort strings with a distributed algorithm")
+    p_sort.add_argument("--algorithm", "-a", choices=ALGORITHMS, default="ms")
+    p_sort.add_argument("--num-pes", "-p", type=int, default=8)
+    p_sort.add_argument("--input", "-i", help="file with one string per line (default: generate)")
+    p_sort.add_argument("--workload", "-w", choices=sorted(_GENERATORS), default="dn50")
+    p_sort.add_argument("--num-strings", "-n", type=int, default=5000)
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument("--check", action="store_true", help="verify the output contracts")
+    p_sort.add_argument("--output", "-o", help="write the sorted strings to this file")
+    p_sort.add_argument(
+        "--sampling", choices=("string", "character"), default="string",
+        help="regular sampling scheme for the splitter determination",
+    )
+
+    p_exp = sub.add_parser("experiment", help="run a canned figure reproduction")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument("--json", dest="json_path", help="dump the raw cells as JSON")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        help="metric column(s) to print (default: bytes_per_string and modeled_time)",
+    )
+
+    p_gen = sub.add_parser("generate", help="write a synthetic workload to a file")
+    p_gen.add_argument("workload", choices=sorted(_GENERATORS))
+    p_gen.add_argument("--num-strings", "-n", type=int, default=10000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", "-o", required=True)
+
+    return parser
+
+
+def _load_or_generate(args) -> List[bytes]:
+    if args.input:
+        with open(args.input, "rb") as fh:
+            return [line.rstrip(b"\r\n") for line in fh if line.strip()]
+    return _GENERATORS[args.workload](args.num_strings, args.seed)
+
+
+def _cmd_sort(args) -> int:
+    data = _load_or_generate(args)
+    result = dsort(
+        data,
+        algorithm=args.algorithm,
+        num_pes=args.num_pes,
+        check=args.check,
+        seed=args.seed,
+        sampling=args.sampling,
+    )
+    report = result.report
+    print(f"algorithm          : {args.algorithm}")
+    print(f"simulated PEs      : {args.num_pes}")
+    print(f"strings / chars    : {result.num_strings} / {result.num_chars}")
+    print(f"input D/N          : {dn_ratio(data):.3f}")
+    print(f"total bytes sent   : {report.total_bytes_sent}")
+    print(f"bytes per string   : {result.bytes_per_string():.2f}")
+    print(f"modelled time      : {result.modeled_time(DEFAULT_MACHINE):.3e} s")
+    print(f"bytes by phase     : {dict(report.phase_bytes)}")
+    if args.check:
+        print("output check       : passed")
+    if args.output:
+        with open(args.output, "wb") as fh:
+            for s in result.sorted_strings:
+                fh.write(s + b"\n")
+        print(f"sorted output      : {args.output}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    runner = ExperimentRunner(seed=args.seed)
+    results = _EXPERIMENTS[args.name](runner)
+    metrics = args.metric or ["bytes_per_string", "modeled_time"]
+    for res in results:
+        print("=" * 72)
+        print(f"{res.name}: {res.description}")
+        for metric in metrics:
+            print()
+            print(res.render(metric))
+        print()
+    if args.json_path:
+        payload = [json.loads(res.to_json()) for res in results]
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"raw cells written to {args.json_path}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    data = _GENERATORS[args.workload](args.num_strings, args.seed)
+    with open(args.output, "wb") as fh:
+        for s in data:
+            fh.write(s + b"\n")
+    print(f"wrote {len(data)} strings ({sum(len(s) for s in data)} chars) to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "sort":
+        return _cmd_sort(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Simulated MPI: communicator interface, wire-size accounting, SPMD engine."""
+
+from .comm import Communicator, ReduceOp
+from .engine import ThreadComm, SpmdError, run_spmd
+from .serialization import wire_size, varint_size, WireSized
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "ThreadComm",
+    "SpmdError",
+    "run_spmd",
+    "wire_size",
+    "varint_size",
+    "WireSized",
+]

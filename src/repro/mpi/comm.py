@@ -1,0 +1,155 @@
+"""The ``Communicator`` interface of the simulated distributed machine.
+
+The interface is a deliberately small subset of MPI, modelled on mpi4py's
+lower-case (pickle-based) API because the distributed string sorting
+algorithms only need
+
+* point-to-point ``send`` / ``recv`` / ``sendrecv``,
+* ``barrier``,
+* rooted collectives ``bcast``, ``gather``, ``scatter``, ``reduce``,
+* symmetric collectives ``allgather``, ``allreduce``, ``alltoall`` (the
+  personalised, "v" flavour: one Python object per destination).
+
+Algorithms are written as ordinary per-rank functions receiving a
+``Communicator`` — the same SPMD style an mpi4py program would use — so a
+future port to real MPI only has to swap the communicator implementation.
+
+Every operation takes the actual payload *and* reports wire sizes to the
+:class:`repro.net.metrics.TrafficMeter`, which is how the benchmark harness
+obtains the exact "bytes sent per string" numbers of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["Communicator", "ReduceOp"]
+
+
+class ReduceOp:
+    """Named reduction operators for :meth:`Communicator.reduce`/``allreduce``."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+
+    _FUNCS = {
+        "sum": lambda xs: sum(xs),
+        "min": lambda xs: min(xs),
+        "max": lambda xs: max(xs),
+    }
+
+    @classmethod
+    def apply(cls, op: str, values: Sequence[Any]) -> Any:
+        if callable(op):
+            # custom associative reduction function over the list of values
+            return op(values)
+        try:
+            return cls._FUNCS[op](values)
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+
+
+class Communicator:
+    """Abstract SPMD communicator; see the module docstring for the contract.
+
+    Subclasses must implement the ``_impl``-suffixed primitives; the public
+    methods add argument validation and traffic accounting hooks shared by
+    all backends.
+    """
+
+    # subclasses set these in __init__
+    rank: int
+    size: int
+
+    # ------------------------------------------------------------------ identity
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} rank={self.rank} size={self.size}>"
+
+    # ------------------------------------------------------------------ phases & work
+    @contextmanager
+    def phase(self, name: str):
+        """Label all traffic issued inside the ``with`` block with ``name``."""
+        previous = self.get_phase()
+        self.set_phase(name)
+        try:
+            yield
+        finally:
+            self.set_phase(previous)
+
+    def set_phase(self, name: str) -> None:  # pragma: no cover - trivial default
+        """Set the current accounting phase (optional for backends)."""
+
+    def get_phase(self) -> str:  # pragma: no cover - trivial default
+        return "unlabelled"
+
+    def record_local_work(self, chars: int, items: int = 0) -> None:
+        """Report local character/string work for the modelled running time."""
+
+    # ------------------------------------------------------------------ point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
+        """Send ``obj`` to rank ``dest``.
+
+        ``nbytes`` overrides the wire-size estimate (used when the payload is
+        an already-accounted composite).
+        """
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next message from ``source`` with matching ``tag``."""
+        raise NotImplementedError
+
+    def sendrecv(
+        self,
+        obj: Any,
+        peer: int,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Any:
+        """Exchange messages with ``peer`` (both sides must call this)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        raise NotImplementedError
+
+    def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
+        raise NotImplementedError
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
+        raise NotImplementedError
+
+    def alltoall(
+        self, objs: Sequence[Any], nbytes: Optional[Sequence[int]] = None,
+        hypercube: bool = False,
+    ) -> List[Any]:
+        """Personalised all-to-all: ``objs[d]`` goes to rank ``d``.
+
+        ``hypercube=True`` only changes the *cost accounting* (latency
+        ``alpha log p`` at the price of a ``log p`` volume factor, see
+        Theorem 6's discussion); delivery semantics are identical.
+        """
+        raise NotImplementedError
+
+    def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ conveniences
+    def is_root(self, root: int = 0) -> bool:
+        return self.rank == root
+
+    def other_ranks(self) -> List[int]:
+        return [r for r in range(self.size) if r != self.rank]
+
+
+RankFunction = Callable[..., Any]

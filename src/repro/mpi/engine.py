@@ -1,0 +1,374 @@
+"""Thread-per-rank SPMD execution engine with a simulated communicator.
+
+This is the substrate that stands in for the paper's MPI cluster.  Each
+simulated PE runs the algorithm's per-rank function in its own Python thread
+and communicates through :class:`ThreadComm`, which implements the
+:class:`repro.mpi.comm.Communicator` interface on top of
+
+* a shared "board" (one slot per rank) plus a reusable barrier for
+  collectives — the classic write / barrier / read / barrier pattern, valid
+  because SPMD programs issue collectives in the same order on every rank,
+* per-ordered-pair message queues for point-to-point traffic.
+
+The engine does not try to be fast (the GIL serialises the local work
+anyway, which the benchmark methodology accounts for — see DESIGN.md); it is
+meant to be *correct*, deadlock-diagnosing and to deliver exact communication
+volume accounting via :class:`repro.net.metrics.TrafficMeter`.
+
+Typical use::
+
+    def my_rank_program(comm, local_strings):
+        ...
+
+    results, report = run_spmd(8, my_rank_program, args_per_rank=[(s,) for s in blocks])
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..net.metrics import TrafficMeter, TrafficReport
+from .comm import Communicator, ReduceOp
+from .serialization import wire_size
+
+__all__ = ["ThreadComm", "SpmdError", "run_spmd"]
+
+# Default ceiling on how long a rank may wait inside a collective or recv
+# before the run is declared deadlocked.  Generous because local sorting of
+# large simulated inputs can legitimately take a while on one thread while
+# the others already sit in the next barrier.
+_DEFAULT_TIMEOUT = 600.0
+
+
+class SpmdError(RuntimeError):
+    """Raised when a simulated SPMD run fails (rank exception or deadlock)."""
+
+
+@dataclass
+class _SharedState:
+    """Objects shared by all rank threads of one SPMD run."""
+
+    num_pes: int
+    meter: TrafficMeter
+    timeout: float
+
+    def __post_init__(self) -> None:
+        self.barrier = threading.Barrier(self.num_pes)
+        self.board: List[Any] = [None] * self.num_pes
+        self.queues: Dict[Tuple[int, int], "queue.SimpleQueue[Tuple[int, Any]]"] = {
+            (s, d): queue.SimpleQueue()
+            for s in range(self.num_pes)
+            for d in range(self.num_pes)
+        }
+        self.error_event = threading.Event()
+        self.errors: List[BaseException] = []
+        self.error_lock = threading.Lock()
+
+    def fail(self, exc: BaseException) -> None:
+        with self.error_lock:
+            self.errors.append(exc)
+        self.error_event.set()
+        self.barrier.abort()
+
+
+class ThreadComm(Communicator):
+    """Communicator backed by the thread engine's shared state."""
+
+    def __init__(self, rank: int, state: _SharedState):
+        self.rank = rank
+        self.size = state.num_pes
+        self._state = state
+        self._phase = "unlabelled"
+
+    # ------------------------------------------------------------------ accounting
+    def set_phase(self, name: str) -> None:
+        self._phase = name
+        self._state.meter.set_phase(self.rank, name)
+
+    def get_phase(self) -> str:
+        return self._phase
+
+    def record_local_work(self, chars: int, items: int = 0) -> None:
+        self._state.meter.record_local_work(self.rank, chars, items)
+
+    # ------------------------------------------------------------------ low-level sync
+    def _barrier_wait(self) -> None:
+        try:
+            self._state.barrier.wait(timeout=self._state.timeout)
+        except threading.BrokenBarrierError:
+            raise SpmdError(
+                f"rank {self.rank}: SPMD run aborted "
+                "(another rank failed or a collective deadlocked)"
+            ) from None
+
+    def _board_exchange(self, contribution: Any) -> List[Any]:
+        """All ranks contribute one object and observe everyone's contribution."""
+        st = self._state
+        st.board[self.rank] = contribution
+        self._barrier_wait()
+        snapshot = list(st.board)
+        self._barrier_wait()
+        return snapshot
+
+    # ------------------------------------------------------------------ point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        size = wire_size(obj) if nbytes is None else nbytes
+        self._state.meter.record_send(self.rank, dest, size)
+        self._state.queues[(self.rank, dest)].put((tag, obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        q = self._state.queues[(source, self.rank)]
+        waited = 0.0
+        while True:
+            try:
+                got_tag, obj = q.get(timeout=0.05)
+                break
+            except queue.Empty:
+                waited += 0.05
+                if self._state.error_event.is_set():
+                    raise SpmdError(
+                        f"rank {self.rank}: SPMD run aborted while waiting for "
+                        f"a message from rank {source}"
+                    ) from None
+                if waited > self._state.timeout:
+                    self._state.fail(
+                        SpmdError(
+                            f"rank {self.rank}: timed out waiting for a message "
+                            f"from rank {source} (tag {tag})"
+                        )
+                    )
+                    raise SpmdError(
+                        f"rank {self.rank}: recv timeout from rank {source}"
+                    )
+        if got_tag != tag:
+            raise SpmdError(
+                f"rank {self.rank}: tag mismatch receiving from {source}: "
+                f"expected {tag}, got {got_tag} (SPMD ordering violated)"
+            )
+        return obj
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0, nbytes: Optional[int] = None) -> Any:
+        self.send(obj, peer, tag, nbytes)
+        return self.recv(peer, tag)
+
+    # ------------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        if self.rank == 0:
+            self._state.meter.record_collective("barrier", 0, self.size, self._phase)
+        self._barrier_wait()
+
+    def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        snapshot = self._board_exchange(obj if self.rank == root else None)
+        value = snapshot[root]
+        if self.rank == root:
+            size = wire_size(value) if nbytes is None else nbytes
+            # account a binomial-tree broadcast: p-1 copies travel in total,
+            # staged over log p rounds; attribute the copies to tree edges
+            for src, dst in _binomial_tree_edges(root, self.size):
+                self._state.meter.record_send(src, dst, size)
+            self._state.meter.record_collective("bcast", size, self.size, self._phase)
+        return value
+
+    def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
+        snapshot = self._board_exchange(obj)
+        size = wire_size(obj) if nbytes is None else nbytes
+        if self.rank != root:
+            self._state.meter.record_send(self.rank, root, size)
+        else:
+            sizes = [
+                wire_size(x) if nbytes is None else nbytes for x in snapshot
+            ]
+            self._state.meter.record_collective(
+                "gather", max(sizes, default=0), self.size, self._phase
+            )
+        return list(snapshot) if self.rank == root else None
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter root must supply one object per rank")
+            contribution = list(objs)
+        else:
+            contribution = None
+        snapshot = self._board_exchange(contribution)
+        parts = snapshot[root]
+        if self.rank == root:
+            sizes = [wire_size(x) for x in parts]
+            for dst in range(self.size):
+                self._state.meter.record_send(root, dst, sizes[dst])
+            self._state.meter.record_collective(
+                "scatter", max(sizes, default=0), self.size, self._phase
+            )
+        return parts[self.rank]
+
+    def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
+        snapshot = self._board_exchange(obj)
+        size = wire_size(obj) if nbytes is None else nbytes
+        # ring/gossip accounting: every PE forwards everything except its own
+        # contribution once, hence sends (and receives) total - own bytes
+        sizes = [wire_size(x) for x in snapshot] if nbytes is None else None
+        if sizes is not None:
+            total = sum(sizes)
+            own = sizes[self.rank]
+        else:
+            total = size * self.size
+            own = size
+        next_rank = (self.rank + 1) % self.size
+        if self.size > 1:
+            self._state.meter.record_send(self.rank, next_rank, total - own)
+        if self.rank == 0:
+            self._state.meter.record_collective(
+                "allgather", max(sizes) if sizes else size, self.size, self._phase
+            )
+        return list(snapshot)
+
+    def alltoall(
+        self,
+        objs: Sequence[Any],
+        nbytes: Optional[Sequence[int]] = None,
+        hypercube: bool = False,
+    ) -> List[Any]:
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly one object per rank "
+                f"({self.size}), got {len(objs)}"
+            )
+        sizes = [
+            wire_size(o) if nbytes is None else nbytes[d]
+            for d, o in enumerate(objs)
+        ]
+        for dst in range(self.size):
+            self._state.meter.record_send(self.rank, dst, sizes[dst])
+        my_total = sum(sz for d, sz in enumerate(sizes) if d != self.rank)
+
+        snapshot = self._board_exchange(list(objs))
+        received = [snapshot[src][self.rank] for src in range(self.size)]
+
+        # one rank records the collective event with the bottleneck volume
+        totals = self._board_exchange(my_total)
+        if self.rank == 0:
+            kind = "alltoall-hypercube" if hypercube else "alltoall"
+            self._state.meter.record_collective(
+                kind, max(totals, default=0), self.size, self._phase
+            )
+        return received
+
+    def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        snapshot = self._board_exchange(value)
+        size = wire_size(value)
+        if self.rank != root:
+            self._state.meter.record_send(self.rank, root, size)
+        result = ReduceOp.apply(op, snapshot)
+        if self.rank == root:
+            self._state.meter.record_collective("reduce", size, self.size, self._phase)
+            return result
+        return None
+
+    def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
+        snapshot = self._board_exchange(value)
+        size = wire_size(value)
+        if self.size > 1:
+            next_rank = (self.rank + 1) % self.size
+            self._state.meter.record_send(self.rank, next_rank, size)
+        if self.rank == 0:
+            self._state.meter.record_collective(
+                "allreduce", size, self.size, self._phase
+            )
+        return ReduceOp.apply(op, snapshot)
+
+
+def _binomial_tree_edges(root: int, p: int) -> List[Tuple[int, int]]:
+    """Edges (src, dst) of a binomial broadcast tree rooted at ``root``."""
+    edges: List[Tuple[int, int]] = []
+    # work in the rotated space where the root is rank 0
+    have = [0]
+    step = 1
+    while step < p:
+        for r in list(have):
+            other = r + step
+            if other < p:
+                edges.append(((r + root) % p, (other + root) % p))
+                have.append(other)
+        step *= 2
+    return edges
+
+
+def run_spmd(
+    num_pes: int,
+    fn: Callable[..., Any],
+    args_per_rank: Optional[Sequence[Tuple]] = None,
+    common_args: Tuple = (),
+    meter: Optional[TrafficMeter] = None,
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> Tuple[List[Any], TrafficReport]:
+    """Run ``fn(comm, *rank_args, *common_args)`` on ``num_pes`` simulated PEs.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of simulated PEs (threads).
+    fn:
+        The per-rank program.  Its first argument is the rank's
+        :class:`ThreadComm`.
+    args_per_rank:
+        Optional per-rank positional arguments (sequence of tuples, one per
+        rank), e.g. the rank's slice of the input strings.
+    common_args:
+        Positional arguments appended for every rank.
+    meter:
+        Optional externally created :class:`TrafficMeter` (useful when a
+        caller wants to aggregate several phases); a fresh one is created by
+        default.
+    timeout:
+        Deadlock-detection timeout per blocking operation, in seconds.
+
+    Returns
+    -------
+    (results, report):
+        ``results[r]`` is the return value of rank ``r``; ``report`` is the
+        traffic report of the whole run.
+    """
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    if args_per_rank is not None and len(args_per_rank) != num_pes:
+        raise ValueError("args_per_rank must have one entry per rank")
+
+    meter = meter if meter is not None else TrafficMeter(num_pes)
+    state = _SharedState(num_pes=num_pes, meter=meter, timeout=timeout)
+    results: List[Any] = [None] * num_pes
+
+    def runner(rank: int) -> None:
+        comm = ThreadComm(rank, state)
+        rank_args = tuple(args_per_rank[rank]) if args_per_rank is not None else ()
+        try:
+            results[rank] = fn(comm, *rank_args, *common_args)
+        except SpmdError as exc:
+            # secondary failures triggered by another rank's abort are noise
+            with state.error_lock:
+                if not state.errors:
+                    state.errors.append(exc)
+            state.error_event.set()
+            state.barrier.abort()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            state.fail(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"pe-{rank}", daemon=True)
+        for rank in range(num_pes)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if state.errors:
+        primary = state.errors[0]
+        raise SpmdError(f"SPMD run on {num_pes} PEs failed: {primary!r}") from primary
+    return results, meter.report()

@@ -1,0 +1,26 @@
+"""Machine model: alpha-beta costs, traffic metering, hypercube topology."""
+
+from .cost_model import MachineModel, DEFAULT_MACHINE
+from .metrics import CollectiveEvent, TrafficMeter, TrafficReport
+from .topology import (
+    hypercube_dimension,
+    hypercube_size,
+    partner,
+    subcube_members,
+    subcube_root,
+    in_upper_half,
+)
+
+__all__ = [
+    "MachineModel",
+    "DEFAULT_MACHINE",
+    "CollectiveEvent",
+    "TrafficMeter",
+    "TrafficReport",
+    "hypercube_dimension",
+    "hypercube_size",
+    "partner",
+    "subcube_members",
+    "subcube_root",
+    "in_upper_half",
+]

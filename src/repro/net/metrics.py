@@ -1,0 +1,175 @@
+"""Per-PE communication and work accounting.
+
+Every simulated communicator feeds a :class:`TrafficMeter`.  The meter keeps,
+per PE and per named phase,
+
+* bytes sent and received (exact wire sizes, see
+  :mod:`repro.mpi.serialization`),
+* number of messages,
+* a log of collective operations (kind, per-PE bottleneck bytes) so the
+  benchmark harness can apply the alpha-beta formulas of
+  :class:`repro.net.cost_model.MachineModel`,
+* character-inspection counts contributed by the local sorting/merging steps.
+
+The meter is written to from many rank threads concurrently; a single lock
+protects all mutation (the operations are tiny compared to the work they
+account for).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cost_model import DEFAULT_MACHINE, MachineModel
+
+__all__ = ["CollectiveEvent", "TrafficMeter", "TrafficReport"]
+
+
+@dataclass
+class CollectiveEvent:
+    """One collective operation as seen by the cost model."""
+
+    kind: str          # "bcast", "gather", "allgather", "alltoall", "reduce", "barrier", "p2p-round"
+    phase: str
+    max_bytes_per_pe: int
+    num_pes: int
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated view of a finished run (returned by :meth:`TrafficMeter.report`)."""
+
+    num_pes: int
+    bytes_sent_per_pe: List[int]
+    bytes_received_per_pe: List[int]
+    messages_per_pe: List[int]
+    phase_bytes: Dict[str, int]
+    chars_inspected_per_pe: List[int]
+    items_processed_per_pe: List[int]
+    collectives: List[CollectiveEvent] = field(default_factory=list)
+
+    # -- aggregate helpers ---------------------------------------------------------
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(self.bytes_sent_per_pe)
+
+    @property
+    def max_bytes_sent(self) -> int:
+        return max(self.bytes_sent_per_pe, default=0)
+
+    def bytes_per_string(self, num_strings: int) -> float:
+        """The paper's headline metric: total bytes sent / total input strings."""
+        if num_strings == 0:
+            return 0.0
+        return self.total_bytes_sent / num_strings
+
+    def modeled_comm_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
+        """Alpha-beta communication time implied by the recorded collectives."""
+        total = 0.0
+        for ev in self.collectives:
+            if ev.kind == "bcast":
+                total += machine.broadcast(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind in ("reduce", "allreduce", "scan"):
+                total += machine.reduction(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind in ("gather", "scatter"):
+                total += machine.gather(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind == "allgather":
+                total += machine.allgather(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind == "alltoall":
+                total += machine.alltoall_direct(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind == "alltoall-hypercube":
+                total += machine.alltoall_hypercube(ev.max_bytes_per_pe, ev.num_pes)
+            elif ev.kind == "barrier":
+                total += machine.broadcast(0, ev.num_pes)
+            elif ev.kind == "p2p-round":
+                total += machine.p2p(ev.max_bytes_per_pe)
+            else:  # unknown kinds are charged like a direct all-to-all
+                total += machine.alltoall_direct(ev.max_bytes_per_pe, ev.num_pes)
+        return total
+
+    def modeled_local_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
+        """Modelled bottleneck local-work time (max over PEs)."""
+        per_pe = [
+            machine.local_work(c, i)
+            for c, i in zip(self.chars_inspected_per_pe, self.items_processed_per_pe)
+        ]
+        return max(per_pe, default=0.0)
+
+    def modeled_total_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
+        """Modelled total running time = local work bottleneck + communication."""
+        return self.modeled_local_time(machine) + self.modeled_comm_time(machine)
+
+
+class TrafficMeter:
+    """Thread-safe collector of communication/work statistics for one run."""
+
+    def __init__(self, num_pes: int):
+        self.num_pes = num_pes
+        self._lock = threading.Lock()
+        self._sent = [0] * num_pes
+        self._received = [0] * num_pes
+        self._messages = [0] * num_pes
+        self._phase_bytes: Dict[str, int] = defaultdict(int)
+        self._chars = [0] * num_pes
+        self._items = [0] * num_pes
+        self._collectives: List[CollectiveEvent] = []
+        self._phases: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ phases
+    def set_phase(self, rank: int, phase: str) -> None:
+        """Label subsequent traffic of ``rank`` with ``phase``."""
+        with self._lock:
+            self._phases[rank] = phase
+
+    def current_phase(self, rank: int) -> str:
+        return self._phases.get(rank, "unlabelled")
+
+    # ------------------------------------------------------------------ recording
+    def record_send(self, src: int, dst: int, nbytes: int) -> None:
+        """Record ``nbytes`` travelling from ``src`` to ``dst``.
+
+        Messages a PE "sends to itself" inside a collective are free, exactly
+        like the paper's accounting of communication volume.
+        """
+        if src == dst:
+            return
+        with self._lock:
+            self._sent[src] += nbytes
+            self._received[dst] += nbytes
+            self._messages[src] += 1
+            self._phase_bytes[self._phases.get(src, "unlabelled")] += nbytes
+
+    def record_local_work(self, rank: int, chars: int, items: int = 0) -> None:
+        with self._lock:
+            self._chars[rank] += chars
+            self._items[rank] += items
+
+    def record_collective(
+        self, kind: str, max_bytes_per_pe: int, num_pes: int, phase: Optional[str] = None
+    ) -> None:
+        with self._lock:
+            self._collectives.append(
+                CollectiveEvent(
+                    kind=kind,
+                    phase=phase if phase is not None else "unlabelled",
+                    max_bytes_per_pe=max_bytes_per_pe,
+                    num_pes=num_pes,
+                )
+            )
+
+    # ------------------------------------------------------------------ results
+    def report(self) -> TrafficReport:
+        with self._lock:
+            return TrafficReport(
+                num_pes=self.num_pes,
+                bytes_sent_per_pe=list(self._sent),
+                bytes_received_per_pe=list(self._received),
+                messages_per_pe=list(self._messages),
+                phase_bytes=dict(self._phase_bytes),
+                chars_inspected_per_pe=list(self._chars),
+                items_processed_per_pe=list(self._items),
+                collectives=list(self._collectives),
+            )

@@ -1,0 +1,60 @@
+"""Hypercube topology helpers used by ``hQuick`` (Section IV).
+
+``hQuick`` logically arranges ``2^d`` PEs (with ``d = floor(log2 p)``) as a
+``d``-dimensional hypercube and works on shrinking subcubes.  The helpers
+here are pure functions on rank numbers so they can be unit-tested without a
+running communicator.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "hypercube_dimension",
+    "hypercube_size",
+    "partner",
+    "subcube_members",
+    "subcube_root",
+    "in_upper_half",
+]
+
+
+def hypercube_dimension(num_pes: int) -> int:
+    """``d = floor(log2(num_pes))`` — the dimension hQuick actually uses."""
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    d = 0
+    while (1 << (d + 1)) <= num_pes:
+        d += 1
+    return d
+
+
+def hypercube_size(num_pes: int) -> int:
+    """``2^d`` — number of PEs that participate in hQuick."""
+    return 1 << hypercube_dimension(num_pes)
+
+
+def partner(rank: int, dim: int) -> int:
+    """Rank of the neighbour across hypercube dimension ``dim``."""
+    return rank ^ (1 << dim)
+
+
+def in_upper_half(rank: int, dim: int) -> bool:
+    """True if ``rank`` lies in the upper half of dimension ``dim``."""
+    return bool(rank & (1 << dim))
+
+
+def subcube_members(rank: int, dim: int) -> List[int]:
+    """All ranks in the ``dim``-dimensional subcube containing ``rank``.
+
+    The subcube is defined by fixing the high bits of ``rank`` above ``dim``
+    and letting the low ``dim`` bits vary.
+    """
+    base = rank & ~((1 << dim) - 1)
+    return [base | low for low in range(1 << dim)]
+
+
+def subcube_root(rank: int, dim: int) -> int:
+    """Smallest rank of the ``dim``-dimensional subcube containing ``rank``."""
+    return rank & ~((1 << dim) - 1)

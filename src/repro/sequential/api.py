@@ -1,0 +1,87 @@
+"""Dispatcher for the sequential string sorters.
+
+The distributed algorithms call :func:`sort_strings_with_lcp` for Step 1
+(local sorting) and let the caller pick the algorithm; the default is the
+paper's choice (MSD radix sort with Multikey Quicksort / LCP insertion sort
+base cases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .lcp_insertion import lcp_insertion_sort
+from .lcp_mergesort import lcp_mergesort
+from .msd_radix import msd_radix_sort
+from .multikey_quicksort import multikey_quicksort
+from .stats import CharStats
+
+__all__ = [
+    "SEQUENTIAL_SORTERS",
+    "sort_strings_with_lcp",
+    "sort_strings",
+]
+
+SorterFn = Callable[..., Tuple[List[bytes], List[int]]]
+
+SEQUENTIAL_SORTERS: Dict[str, SorterFn] = {
+    "msd_radix": msd_radix_sort,
+    "multikey_quicksort": multikey_quicksort,
+    "lcp_mergesort": lambda strings, stats=None: lcp_mergesort(strings, stats=stats),
+    "lcp_insertion": lambda strings, stats=None: lcp_insertion_sort(strings, 0, stats),
+    # Python's built-in Timsort on bytes, LCP array computed afterwards; used
+    # as a correctness oracle and as a "how fast can CPython possibly be"
+    # reference point in benchmarks.
+    "timsort": None,  # filled in below to avoid a forward reference
+}
+
+
+def _timsort_with_lcp(
+    strings: Sequence[bytes], stats: Optional[CharStats] = None
+) -> Tuple[List[bytes], List[int]]:
+    out = sorted(strings)
+    lcps = [0] * len(out)
+    for i in range(1, len(out)):
+        a, b = out[i - 1], out[i]
+        limit = min(len(a), len(b))
+        h = 0
+        while h < limit and a[h] == b[h]:
+            h += 1
+        lcps[i] = h
+        if stats is not None:
+            stats.add_chars(h + (1 if h < limit else 0))
+    return out, lcps
+
+
+SEQUENTIAL_SORTERS["timsort"] = _timsort_with_lcp
+
+
+def sort_strings_with_lcp(
+    strings: Sequence[bytes],
+    algorithm: str = "msd_radix",
+    stats: Optional[CharStats] = None,
+) -> Tuple[List[bytes], List[int]]:
+    """Sort ``strings`` sequentially; returns ``(sorted, lcp_array)``.
+
+    ``algorithm`` is one of :data:`SEQUENTIAL_SORTERS`.
+    """
+    try:
+        sorter = SEQUENTIAL_SORTERS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown sequential sorter {algorithm!r}; "
+            f"available: {sorted(SEQUENTIAL_SORTERS)}"
+        ) from None
+    if algorithm in ("msd_radix", "multikey_quicksort"):
+        return sorter(strings, 0, stats)
+    return sorter(strings, stats=stats)
+
+
+def sort_strings(
+    strings: Sequence[bytes],
+    algorithm: str = "msd_radix",
+    stats: Optional[CharStats] = None,
+) -> List[bytes]:
+    """Convenience wrapper returning only the sorted strings."""
+    out, _ = sort_strings_with_lcp(strings, algorithm, stats)
+    return out

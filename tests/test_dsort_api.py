@@ -1,0 +1,94 @@
+"""Tests for the public dsort facade and input distribution helpers."""
+
+import pytest
+
+from repro import ALGORITHMS, dsort
+from repro.dist.api import distribute_strings
+from repro.strings.generators import random_strings
+
+
+class TestDistributeStrings:
+    def test_by_strings_balances_counts(self):
+        data = random_strings(100, 1, 5, seed=1)
+        blocks = distribute_strings(data, 7)
+        assert len(blocks) == 7
+        assert sum(len(b) for b in blocks) == 100
+        assert max(len(b) for b in blocks) - min(len(b) for b in blocks) <= 1
+
+    def test_by_chars_balances_characters(self):
+        data = [b"x" * 50] * 4 + [b"y"] * 200
+        blocks = distribute_strings(data, 4, by="chars")
+        sizes = [sum(len(s) for s in b) for b in blocks]
+        assert sum(sizes) == sum(len(s) for s in data)
+        assert max(sizes) < 0.6 * sum(sizes)
+
+    def test_preserves_order_and_content(self):
+        data = random_strings(53, 1, 6, seed=2)
+        blocks = distribute_strings(data, 5)
+        assert [s for b in blocks for s in b] == data
+
+    def test_accepts_str_input(self):
+        blocks = distribute_strings(["b", "a"], 2)
+        assert blocks == [[b"b"], [b"a"]]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            distribute_strings([b"a"], 0)
+        with pytest.raises(ValueError):
+            distribute_strings([b"a"], 2, by="magic")
+
+
+class TestDsortFacade:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            dsort([b"a"], algorithm="bogosort", num_pes=2)
+
+    def test_pre_distributed_input(self):
+        blocks = [[b"d", b"a"], [b"c", b"b"]]
+        res = dsort(blocks, algorithm="ms", pre_distributed=True, check=True)
+        assert res.num_pes == 2
+        assert res.sorted_strings == [b"a", b"b", b"c", b"d"]
+
+    def test_accepts_str_input(self):
+        res = dsort(["pear", "apple", "fig"], algorithm="ms", num_pes=2, check=True)
+        assert res.sorted_strings == [b"apple", b"fig", b"pear"]
+
+    def test_result_metadata(self):
+        data = random_strings(300, 1, 10, seed=3)
+        res = dsort(data, algorithm="ms", num_pes=4)
+        assert res.algorithm == "ms"
+        assert res.num_pes == 4
+        assert res.num_strings == 300
+        assert res.num_chars == sum(len(s) for s in data)
+        assert res.bytes_per_string() > 0
+        assert res.modeled_time() > 0
+
+    def test_more_pes_than_strings(self):
+        res = dsort([b"b", b"a", b"c"], algorithm="ms", num_pes=8, check=True)
+        assert res.sorted_strings == [b"a", b"b", b"c"]
+
+    def test_single_pe_every_algorithm(self):
+        data = random_strings(150, 0, 10, seed=4)
+        for algorithm in ALGORITHMS:
+            res = dsort(data, algorithm=algorithm, num_pes=1, check=True)
+            assert res.num_strings == 150
+
+    def test_empty_input(self):
+        res = dsort([], algorithm="ms", num_pes=3, check=True)
+        assert res.sorted_strings == []
+
+    def test_check_flag_catches_nothing_on_valid_runs(self):
+        data = random_strings(200, 1, 10, seed=5)
+        dsort(data, algorithm="pdms", num_pes=3, check=True)
+
+    def test_report_phases_cover_all_steps(self):
+        data = random_strings(400, 1, 12, seed=6)
+        res = dsort(data, algorithm="ms", num_pes=4)
+        assert "splitter-determination" in res.report.phase_bytes
+        assert "exchange" in res.report.phase_bytes
+
+    def test_seed_changes_hquick_randomisation_not_result(self):
+        data = random_strings(300, 1, 10, seed=7)
+        a = dsort(data, algorithm="hquick", num_pes=4, seed=1)
+        b = dsort(data, algorithm="hquick", num_pes=4, seed=2)
+        assert a.sorted_strings == b.sorted_strings == sorted(data)

@@ -1,0 +1,161 @@
+"""Tests for distributed duplicate detection and the Golomb fingerprint coding."""
+
+import pytest
+
+from repro.dist.duplicates import (
+    BitVector,
+    FingerprintBlock,
+    find_unique_fingerprints,
+    prefix_fingerprint,
+)
+from repro.dist.golomb import GolombCodedSet, decode_sorted, encode_sorted, golomb_parameter
+from repro.mpi import run_spmd
+
+
+class TestPrefixFingerprint:
+    def test_deterministic(self):
+        assert prefix_fingerprint(b"abc") == prefix_fingerprint(b"abc")
+
+    def test_salt_changes_value(self):
+        assert prefix_fingerprint(b"abc", salt=1) != prefix_fingerprint(b"abc", salt=2)
+
+    def test_different_prefixes_differ(self):
+        assert prefix_fingerprint(b"abc") != prefix_fingerprint(b"abd")
+
+    def test_bit_width_respected(self):
+        for bits in (24, 32, 48, 64):
+            fp = prefix_fingerprint(b"some prefix", bits=bits)
+            assert 0 <= fp < (1 << bits)
+
+    def test_empty_prefix_ok(self):
+        assert isinstance(prefix_fingerprint(b""), int)
+
+
+class TestGolombCoding:
+    def test_parameter_positive(self):
+        assert golomb_parameter(1 << 30, 0) == 1
+        assert golomb_parameter(1 << 30, 100) >= 1
+
+    def test_roundtrip_simple(self):
+        values = [0, 1, 5, 5, 100, 2**20]
+        payload, m = encode_sorted(values, universe=2**24)
+        assert decode_sorted(payload, m, len(values)) == values
+
+    def test_empty(self):
+        payload, m = encode_sorted([], universe=100)
+        assert decode_sorted(payload, m, 0) == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            encode_sorted([5, 1], universe=100)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_sorted([-1, 2], universe=100)
+
+    def test_coded_set_object(self):
+        gs = GolombCodedSet([9, 2, 5], universe=1 << 16)
+        assert gs.values == [2, 5, 9]
+        assert gs.decode() == [2, 5, 9]
+        assert len(gs) == 3
+        assert list(gs) == [2, 5, 9]
+
+    def test_compression_beats_fixed_width_for_dense_sets(self):
+        # 1000 values in a 2^24 universe: ~14 bits each fixed vs ~ log2(gap)+2
+        values = sorted(range(0, 1 << 20, 1 << 10))
+        gs = GolombCodedSet(values, universe=1 << 24)
+        assert gs.wire_bytes() < len(values) * 3
+
+
+class TestMessageTypes:
+    def test_fingerprint_block_iteration(self):
+        blk = FingerprintBlock([3, 1], bits=32)
+        assert list(blk) == [3, 1]
+        assert len(blk) == 2
+
+    def test_bitvector_roundtrip(self):
+        bv = BitVector([True, False, True])
+        assert list(bv) == [True, False, True]
+
+
+def _run_detection(per_pe_fingerprints, golomb=False, bits=32):
+    """Helper: run find_unique_fingerprints on the SPMD engine."""
+    def prog(comm, fps):
+        return find_unique_fingerprints(comm, fps, bits=bits, golomb=golomb)
+
+    results, report = run_spmd(
+        len(per_pe_fingerprints),
+        prog,
+        args_per_rank=[(fps,) for fps in per_pe_fingerprints],
+    )
+    return results, report
+
+
+class TestFindUniqueFingerprints:
+    @pytest.mark.parametrize("golomb", [False, True])
+    def test_basic_detection(self, golomb):
+        # value 7 appears on PEs 0 and 2; 1, 2, 3 are unique
+        per_pe = [[7, 1], [2], [7, 3]]
+        results, _ = _run_detection(per_pe, golomb=golomb)
+        assert results[0] == [False, True]
+        assert results[1] == [True]
+        assert results[2] == [False, True]
+
+    def test_duplicates_within_one_pe(self):
+        per_pe = [[5, 5, 8], [9]]
+        results, _ = _run_detection(per_pe)
+        assert results[0] == [False, False, True]
+        assert results[1] == [True]
+
+    def test_all_unique(self):
+        per_pe = [[1, 2], [3, 4], [5]]
+        results, _ = _run_detection(per_pe)
+        assert all(all(r) for r in results)
+
+    def test_all_duplicated(self):
+        per_pe = [[42], [42], [42]]
+        results, _ = _run_detection(per_pe)
+        assert all(r == [False] for r in results)
+
+    def test_empty_pes_are_fine(self):
+        per_pe = [[], [11], []]
+        results, _ = _run_detection(per_pe)
+        assert results == [[], [True], []]
+
+    def test_never_declares_true_duplicate_unique(self):
+        # safety property: identical values can never come back "unique"
+        import random
+
+        rng = random.Random(3)
+        per_pe = [[rng.randrange(100) for _ in range(50)] for _ in range(4)]
+        results, _ = _run_detection(per_pe)
+        from collections import Counter
+
+        counts = Counter(v for fps in per_pe for v in fps)
+        for fps, verdicts in zip(per_pe, results):
+            for v, unique in zip(fps, verdicts):
+                if counts[v] > 1:
+                    assert not unique
+                else:
+                    assert unique
+
+    def test_out_of_range_fingerprint_rejected(self):
+        from repro.mpi import SpmdError
+
+        with pytest.raises(SpmdError):
+            _run_detection([[2**40], [1]], bits=32)
+
+    def test_golomb_reduces_traffic(self):
+        import random
+
+        rng = random.Random(1)
+        per_pe = [[rng.randrange(1 << 32) for _ in range(400)] for _ in range(4)]
+        _, plain_report = _run_detection(per_pe, golomb=False, bits=32)
+        _, golomb_report = _run_detection(per_pe, golomb=True, bits=32)
+        assert golomb_report.total_bytes_sent < plain_report.total_bytes_sent
+
+    def test_verdicts_come_back_in_input_order(self):
+        # fingerprints deliberately unsorted per destination
+        per_pe = [[90, 10, 50, 10], [70]]
+        results, _ = _run_detection(per_pe)
+        assert results[0] == [True, False, True, False]

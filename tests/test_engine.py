@@ -1,0 +1,238 @@
+"""Tests for the SPMD thread engine and its simulated communicator."""
+
+import pytest
+
+from repro.mpi import ReduceOp, SpmdError, run_spmd
+from repro.net.metrics import TrafficMeter
+
+
+class TestRunSpmd:
+    def test_single_rank(self):
+        results, report = run_spmd(1, lambda comm: comm.rank)
+        assert results == [0]
+        assert report.total_bytes_sent == 0
+
+    def test_results_in_rank_order(self):
+        results, _ = run_spmd(6, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30, 40, 50]
+
+    def test_per_rank_and_common_args(self):
+        def prog(comm, mine, shared):
+            return (mine, shared)
+
+        results, _ = run_spmd(
+            3, prog, args_per_rank=[(i,) for i in "abc"], common_args=("x",)
+        )
+        assert results == [("a", "x"), ("b", "x"), ("c", "x")]
+
+    def test_invalid_num_pes(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+    def test_args_per_rank_length_mismatch(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda comm, x: x, args_per_rank=[(1,)])
+
+    def test_rank_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError, match="boom"):
+            run_spmd(4, prog)
+
+    def test_external_meter_is_used(self):
+        meter = TrafficMeter(2)
+        run_spmd(2, lambda comm: comm.send(b"x", 1 - comm.rank), meter=meter)
+        assert meter.report().total_bytes_sent > 0
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"k": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results, report = run_spmd(2, prog)
+        assert results[1] == {"k": 1}
+        assert report.bytes_sent_per_pe[0] > 0
+
+    def test_ring_sendrecv(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, right)
+            return comm.recv(left)
+
+        results, _ = run_spmd(5, prog)
+        assert results == [4, 0, 1, 2, 3]
+
+    def test_pairwise_sendrecv(self):
+        def prog(comm):
+            peer = comm.rank ^ 1
+            return comm.sendrecv(comm.rank * 2, peer)
+
+        results, _ = run_spmd(4, prog)
+        assert results == [2, 0, 6, 4]
+
+    def test_message_order_is_preserved(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1)
+                return None
+            return [comm.recv(0) for _ in range(10)]
+
+        results, _ = run_spmd(2, prog)
+        assert results[1] == list(range(10))
+
+    def test_explicit_nbytes_overrides_accounting(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"xxxx", 1, nbytes=1000)
+            else:
+                comm.recv(0)
+
+        _, report = run_spmd(2, prog)
+        assert report.bytes_sent_per_pe[0] == 1000
+
+    def test_invalid_destination(self):
+        def prog(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestCollectives:
+    def test_barrier(self):
+        results, _ = run_spmd(4, lambda comm: comm.barrier() or comm.rank)
+        assert results == [0, 1, 2, 3]
+
+    def test_bcast_from_each_root(self):
+        def prog(comm, root):
+            value = f"payload-{comm.rank}" if comm.rank == root else None
+            return comm.bcast(value, root=root)
+
+        for root in range(3):
+            results, _ = run_spmd(3, prog, common_args=(root,))
+            assert results == [f"payload-{root}"] * 3
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank ** 2, root=1)
+
+        results, _ = run_spmd(4, prog)
+        assert results[1] == [0, 1, 4, 9]
+        assert results[0] is None and results[2] is None
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [f"part{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        results, _ = run_spmd(4, prog)
+        assert results == ["part0", "part1", "part2", "part3"]
+
+    def test_scatter_requires_one_object_per_rank(self):
+        def prog(comm):
+            data = [1] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, prog)
+
+    def test_allgather(self):
+        results, _ = run_spmd(5, lambda comm: comm.allgather(comm.rank))
+        assert all(r == [0, 1, 2, 3, 4] for r in results)
+
+    def test_alltoall_transpose(self):
+        def prog(comm):
+            return comm.alltoall([(comm.rank, d) for d in range(comm.size)])
+
+        results, _ = run_spmd(4, prog)
+        for r, received in enumerate(results):
+            assert received == [(src, r) for src in range(4)]
+
+    def test_alltoall_requires_one_object_per_rank(self):
+        def prog(comm):
+            return comm.alltoall([1, 2])
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, prog)
+
+    def test_reduce_and_allreduce(self):
+        def prog(comm):
+            total = comm.allreduce(comm.rank + 1, ReduceOp.SUM)
+            largest = comm.allreduce(comm.rank, ReduceOp.MAX)
+            smallest = comm.allreduce(comm.rank, ReduceOp.MIN)
+            rooted = comm.reduce(comm.rank + 1, ReduceOp.SUM, root=2)
+            return (total, largest, smallest, rooted)
+
+        results, _ = run_spmd(4, prog)
+        assert all(r[0] == 10 and r[1] == 3 and r[2] == 0 for r in results)
+        assert results[2][3] == 10
+        assert results[0][3] is None
+
+    def test_reduce_with_custom_callable(self):
+        def prog(comm):
+            return comm.allreduce([comm.rank], op=lambda parts: sum(parts, []))
+
+        results, _ = run_spmd(3, prog)
+        assert all(r == [0, 1, 2] for r in results)
+
+    def test_unknown_reduce_op(self):
+        def prog(comm):
+            return comm.allreduce(1, op="median")
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestAccounting:
+    def test_alltoall_records_pairwise_bytes(self):
+        def prog(comm):
+            msgs = [b"x" * (10 * (d + 1)) for d in range(comm.size)]
+            comm.alltoall(msgs)
+
+        _, report = run_spmd(3, prog)
+        # each rank sends 10+20+30 bytes of payload to others minus its own slot
+        for rank in range(3):
+            own = 10 * (rank + 1)
+            assert report.bytes_sent_per_pe[rank] >= 60 - own
+
+    def test_collective_events_are_recorded(self):
+        def prog(comm):
+            comm.bcast(b"z" * 100 if comm.rank == 0 else None, root=0)
+            comm.alltoall([b"" for _ in range(comm.size)])
+
+        _, report = run_spmd(4, prog)
+        kinds = [c.kind for c in report.collectives]
+        assert "bcast" in kinds and "alltoall" in kinds
+
+    def test_phase_labels_flow_into_report(self):
+        def prog(comm):
+            with comm.phase("stage-a"):
+                comm.send(b"abc", (comm.rank + 1) % comm.size)
+                comm.recv((comm.rank - 1) % comm.size)
+
+        _, report = run_spmd(2, prog)
+        assert "stage-a" in report.phase_bytes
+
+    def test_record_local_work(self):
+        def prog(comm):
+            comm.record_local_work(1000, 10)
+
+        _, report = run_spmd(2, prog)
+        assert report.chars_inspected_per_pe == [1000, 1000]
+        assert report.items_processed_per_pe == [10, 10]
+
+    def test_bcast_total_volume_is_p_minus_one_copies(self):
+        def prog(comm):
+            comm.bcast(b"y" * 50 if comm.rank == 1 else None, root=1)
+
+        _, report = run_spmd(5, prog)
+        assert report.total_bytes_sent == 4 * (50 + 1)

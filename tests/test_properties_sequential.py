@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the sequential sorting layer.
+
+Invariants covered:
+
+* every sorter returns a sorted permutation of its input with the exact LCP
+  array, for arbitrary byte strings;
+* the LCP loser tree agrees with sorted() on arbitrary partitions of the
+  input into runs;
+* LCP arrays and distinguishing prefixes satisfy their defining relations;
+* the Golomb coder round-trips arbitrary sorted integer sequences (the coder
+  lives in the dist package but is a pure sequential data structure).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dist.golomb import decode_sorted, encode_sorted
+from repro.sequential import (
+    lcp_insertion_sort,
+    lcp_merge,
+    lcp_multiway_merge,
+    msd_radix_sort,
+    multikey_quicksort,
+    multiway_merge,
+)
+from repro.strings.lcp import distinguishing_prefixes, lcp, lcp_array
+
+# byte strings over a tiny alphabet maximise shared prefixes and duplicates,
+# which is where the LCP machinery can go wrong
+small_alphabet_text = st.binary(max_size=12).map(
+    lambda b: bytes(97 + (c % 3) for c in b)
+)
+string_lists = st.lists(small_alphabet_text, max_size=60)
+wild_string_lists = st.lists(st.binary(max_size=20), max_size=40)
+
+
+@settings(max_examples=150, deadline=None)
+@given(string_lists)
+def test_msd_radix_matches_builtin_sort(strings):
+    out, lcps = msd_radix_sort(strings)
+    assert out == sorted(strings)
+    assert lcps == lcp_array(out)
+
+
+@settings(max_examples=150, deadline=None)
+@given(wild_string_lists)
+def test_msd_radix_on_arbitrary_bytes(strings):
+    out, lcps = msd_radix_sort(strings)
+    assert out == sorted(strings)
+    assert lcps == lcp_array(out)
+
+
+@settings(max_examples=150, deadline=None)
+@given(string_lists)
+def test_multikey_quicksort_matches_builtin_sort(strings):
+    out, lcps = multikey_quicksort(strings)
+    assert out == sorted(strings)
+    assert lcps == lcp_array(out)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(small_alphabet_text, max_size=25))
+def test_lcp_insertion_sort_matches_builtin_sort(strings):
+    out, lcps = lcp_insertion_sort(strings)
+    assert out == sorted(strings)
+    assert lcps == lcp_array(out)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.lists(small_alphabet_text, max_size=15), min_size=1, max_size=6))
+def test_lcp_losertree_merges_arbitrary_runs(runs):
+    runs = [sorted(r) for r in runs]
+    lcps = [lcp_array(r) for r in runs]
+    merged, out_lcps = lcp_multiway_merge(runs, lcps)
+    expected = sorted(s for r in runs for s in r)
+    assert merged == expected
+    assert out_lcps == lcp_array(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.lists(small_alphabet_text, max_size=15), min_size=1, max_size=6))
+def test_atomic_losertree_merges_arbitrary_runs(runs):
+    runs = [sorted(r) for r in runs]
+    merged = multiway_merge(runs)
+    assert merged == sorted(s for r in runs for s in r)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(small_alphabet_text, max_size=30),
+    st.lists(small_alphabet_text, max_size=30),
+)
+def test_binary_lcp_merge(a, b):
+    a, b = sorted(a), sorted(b)
+    merged, lcps = lcp_merge(a, lcp_array(a), b, lcp_array(b))
+    expected = sorted(a + b)
+    assert merged == expected
+    assert lcps == lcp_array(expected)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=30), st.binary(max_size=30))
+def test_lcp_definition(a, b):
+    h = lcp(a, b)
+    assert a[:h] == b[:h]
+    if h < min(len(a), len(b)):
+        assert a[h] != b[h]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(small_alphabet_text, min_size=1, max_size=30))
+def test_distinguishing_prefix_definition(strings):
+    dist = distinguishing_prefixes(strings)
+    for i, s in enumerate(strings):
+        assert 0 <= dist[i] <= len(s)
+        others = strings[:i] + strings[i + 1 :]
+        if others and s:
+            max_lcp = max(lcp(s, t) for t in others)
+            # DIST = max LCP + 1, capped at |s|
+            assert dist[i] == min(max_lcp + 1, len(s))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=200))
+def test_golomb_roundtrip(values):
+    values = sorted(values)
+    payload, m = encode_sorted(values, universe=2**32)
+    assert decode_sorted(payload, m, len(values)) == values
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=300),
+    st.integers(min_value=17, max_value=40),
+)
+def test_golomb_compresses_dense_sets(values, bits):
+    """Dense sorted sets must encode to fewer bytes than fixed-width storage."""
+    values = sorted(values)
+    payload, _ = encode_sorted(values, universe=1 << bits)
+    fixed = len(values) * ((bits + 7) // 8)
+    # allow slack for tiny inputs where headers dominate
+    assert len(payload) <= fixed + 8

@@ -1,0 +1,119 @@
+"""Tests for global splitter determination and the all-to-all string exchange."""
+
+import pytest
+
+from repro.dist.exchange import exchange_buckets
+from repro.dist.partition import split_into_buckets
+from repro.dist.splitters import determine_splitters
+from repro.mpi import SpmdError, run_spmd
+from repro.sequential import sort_strings_with_lcp
+from repro.strings.generators import dn_instance, random_strings
+from repro.strings.lcp import lcp_array
+
+
+def _blocks(strings, p):
+    n = len(strings)
+    return [strings[r * n // p : (r + 1) * n // p] for r in range(p)]
+
+
+class TestDetermineSplitters:
+    @pytest.mark.parametrize("sample_sort", ["central", "hquick"])
+    @pytest.mark.parametrize("scheme", ["string", "character"])
+    def test_splitters_sorted_and_correct_count(self, sample_sort, scheme):
+        strings = random_strings(800, 1, 15, seed=1)
+        blocks = _blocks(strings, 4)
+
+        def prog(comm, local):
+            local_sorted, _ = sort_strings_with_lcp(local)
+            return determine_splitters(
+                comm, local_sorted, scheme=scheme, sample_sort=sample_sort
+            )
+
+        results, _ = run_spmd(4, prog, args_per_rank=[(b,) for b in blocks])
+        # every rank receives the same splitters
+        assert all(r == results[0] for r in results)
+        splitters = results[0]
+        assert len(splitters) == 3
+        assert splitters == sorted(splitters)
+
+    def test_splitters_balance_buckets(self):
+        strings = dn_instance(1200, 0.3, length=40, seed=2)
+        blocks = _blocks(strings, 4)
+
+        def prog(comm, local):
+            local_sorted, lcps = sort_strings_with_lcp(local)
+            splitters = determine_splitters(comm, local_sorted, oversampling=16)
+            buckets = split_into_buckets(local_sorted, lcps, splitters)
+            return [len(b[0]) for b in buckets]
+
+        results, _ = run_spmd(4, prog, args_per_rank=[(b,) for b in blocks])
+        bucket_totals = [sum(r[j] for r in results) for j in range(4)]
+        assert sum(bucket_totals) == 1200
+        # Theorem 2 with v=16: each bucket <= n/p + n/v = 300 + 75
+        assert max(bucket_totals) <= 300 + 75 + 4
+
+    def test_invalid_scheme_and_sorter(self):
+        def prog_scheme(comm, local):
+            return determine_splitters(comm, local, scheme="bogus")
+
+        def prog_sorter(comm, local):
+            return determine_splitters(comm, local, sample_sort="bogus")
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog_scheme, args_per_rank=[([b"a"],), ([b"b"],)])
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog_sorter, args_per_rank=[([b"a"],), ([b"b"],)])
+
+    def test_empty_local_input_on_some_ranks(self):
+        blocks = [[b"m", b"n"], [], [b"a", b"z"], []]
+
+        def prog(comm, local):
+            local_sorted, _ = sort_strings_with_lcp(local)
+            return determine_splitters(comm, local_sorted)
+
+        results, _ = run_spmd(4, prog, args_per_rank=[(b,) for b in blocks])
+        assert all(r == results[0] for r in results)
+
+
+class TestExchangeBuckets:
+    @pytest.mark.parametrize("compression", [False, True])
+    def test_exchange_is_a_global_transpose(self, compression):
+        strings = random_strings(600, 1, 12, seed=3)
+        blocks = _blocks(strings, 3)
+
+        def prog(comm, local):
+            local_sorted, lcps = sort_strings_with_lcp(local)
+            splitters = determine_splitters(comm, local_sorted)
+            buckets = split_into_buckets(local_sorted, lcps, splitters)
+            received = exchange_buckets(comm, buckets, lcp_compression=compression)
+            # every received run must be sorted and carry a correct LCP array
+            for run, run_lcps in received:
+                assert run == sorted(run)
+                assert run_lcps[1:] == lcp_array(run)[1:]
+            return [s for run, _ in received for s in run]
+
+        results, _ = run_spmd(3, prog, args_per_rank=[(b,) for b in blocks])
+        # nothing lost, nothing duplicated
+        flat = sorted(s for r in results for s in r)
+        assert flat == sorted(strings)
+
+    def test_compression_saves_bytes_on_shared_prefixes(self):
+        strings = dn_instance(900, 0.9, length=60, seed=4)
+        blocks = _blocks(strings, 3)
+
+        def prog(comm, local, compress):
+            local_sorted, lcps = sort_strings_with_lcp(local)
+            splitters = determine_splitters(comm, local_sorted)
+            buckets = split_into_buckets(local_sorted, lcps, splitters)
+            exchange_buckets(comm, buckets, lcp_compression=compress)
+
+        _, plain = run_spmd(3, prog, args_per_rank=[(b, False) for b in blocks])
+        _, packed = run_spmd(3, prog, args_per_rank=[(b, True) for b in blocks])
+        assert packed.total_bytes_sent < 0.7 * plain.total_bytes_sent
+
+    def test_wrong_bucket_count_rejected(self):
+        def prog(comm, local):
+            return exchange_buckets(comm, [(local, [0] * len(local))])
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, args_per_rank=[([b"a"],), ([b"b"],)])
