@@ -17,7 +17,13 @@ sharpen the trends.
 
 from __future__ import annotations
 
+import pathlib
 import sys
+
+# allow running straight from a source checkout (src layout)
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 from repro.bench import ExperimentRunner, weak_scaling_dn
 from repro.net import DEFAULT_MACHINE

@@ -13,6 +13,14 @@ Run with::
 
 from __future__ import annotations
 
+import pathlib
+import sys
+
+# allow running straight from a source checkout (src layout)
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 from repro import ALGORITHMS, dsort
 from repro.strings import dn_instance, dn_ratio
 

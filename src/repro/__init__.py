@@ -14,24 +14,61 @@ Quickstart::
     data = dn_instance(num_strings=20_000, dn=0.5, length=64, seed=1)
     result = dsort(data, algorithm="ms", num_pes=8, check=True)
     print(result.bytes_per_string(), result.modeled_time())
+
+Architecture
+------------
+
+``repro`` is layered bottom-up; every layer only depends on the ones below:
+
+* :mod:`repro.strings` — string containers, LCP/DIST machinery, workload
+  generators (D/N family, COMMONCRAWL/DNAREADS-like corpora, suffix and
+  skewed instances) and output checkers;
+* :mod:`repro.sequential` — the per-PE sorters and mergers (MSD radix sort,
+  multikey quicksort, LCP insertion sort, LCP-aware loser trees);
+* :mod:`repro.net` — the alpha-beta machine model, hypercube topology
+  helpers and the :class:`~repro.net.metrics.TrafficMeter` that records
+  exact wire volumes;
+* :mod:`repro.mpi` — the mpi4py-style :class:`~repro.mpi.comm.Communicator`
+  interface and the thread-per-rank SPMD engine simulating the cluster;
+* :mod:`repro.dist` — the distributed algorithms themselves: regular
+  sampling and splitter agreement (``partition``/``splitters``), the
+  LCP-compressed all-to-all (``exchange``), hypercube quicksort
+  (``hquick``), Golomb-coded fingerprint duplicate detection
+  (``golomb``/``duplicates``), the DIST-prefix approximation
+  (``prefix_doubling``), D/N estimation (``dn_estimator``) and the
+  :func:`~repro.dist.api.dsort` facade (``api``);
+* :mod:`repro.bench` — the experiment harness reproducing the paper's
+  figures, driven by ``benchmarks/`` and the CLI (``python -m repro``).
 """
 
-from .dist import (
-    ALGORITHMS,
-    DSortResult,
-    dsort,
-    distribute_strings,
-    ms_sort,
-    pdms_sort,
-    hquick_sort,
-    fkmerge_sort,
-    MSConfig,
-    PDMSConfig,
+_SUBMODULE_HINT = (
+    "the 'repro' package failed to import its submodule {name!r}: {exc}. "
+    "Run from the repository with 'src' on sys.path (e.g. PYTHONPATH=src, "
+    "'pip install -e .', or via pytest, whose configuration adds it) and "
+    "make sure numpy is installed."
 )
-from .mpi import Communicator, run_spmd
-from .net import MachineModel, DEFAULT_MACHINE
-from .sequential import sort_strings, sort_strings_with_lcp
-from .strings import StringSet
+
+try:
+    from .dist import (
+        ALGORITHMS,
+        DSortResult,
+        dsort,
+        distribute_strings,
+        ms_sort,
+        pdms_sort,
+        hquick_sort,
+        fkmerge_sort,
+        MSConfig,
+        PDMSConfig,
+    )
+    from .mpi import Communicator, run_spmd
+    from .net import MachineModel, DEFAULT_MACHINE
+    from .sequential import sort_strings, sort_strings_with_lcp
+    from .strings import StringSet
+except ModuleNotFoundError as exc:  # pragma: no cover - import-time guard
+    raise ImportError(
+        _SUBMODULE_HINT.format(name=exc.name or "<unknown>", exc=exc)
+    ) from exc
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,52 @@
+"""Distributed string sorting algorithms (Sections IV-VI of the paper).
+
+Layering (each module usable and testable on its own):
+
+* :mod:`~repro.dist.partition` — regular sampling, splitter selection and
+  bucket computation (pure per-PE helpers, Theorems 2/3);
+* :mod:`~repro.dist.splitters` — the distributed splitter agreement
+  protocol on top of them;
+* :mod:`~repro.dist.exchange` — the all-to-all bucket exchange with
+  optional LCP front coding;
+* :mod:`~repro.dist.hquick` — hypercube quicksort, the atomic baseline;
+* :mod:`~repro.dist.golomb` / :mod:`~repro.dist.duplicates` — Golomb-coded
+  sorted sets and distributed fingerprint duplicate detection;
+* :mod:`~repro.dist.prefix_doubling` — the DIST-prefix approximation;
+* :mod:`~repro.dist.dn_estimator` — sampling-based D/N estimation for
+  ``dsort(algorithm="auto")``;
+* :mod:`~repro.dist.api` — the :func:`dsort` facade, the algorithm
+  registry and the per-algorithm SPMD rank programs.
+"""
+
+from .api import (
+    ALGORITHMS,
+    DSortResult,
+    MSConfig,
+    PDMSConfig,
+    distribute_strings,
+    dsort,
+    fkmerge_sort,
+    hquick_sort,
+    ms_sort,
+    pdms_sort,
+)
+from .dn_estimator import DnEstimate, estimate_dn_ratio, recommend_algorithm
+from .prefix_doubling import PrefixDoublingResult, approximate_dist_prefixes
+
+__all__ = [
+    "ALGORITHMS",
+    "DSortResult",
+    "MSConfig",
+    "PDMSConfig",
+    "distribute_strings",
+    "dsort",
+    "fkmerge_sort",
+    "hquick_sort",
+    "ms_sort",
+    "pdms_sort",
+    "DnEstimate",
+    "estimate_dn_ratio",
+    "recommend_algorithm",
+    "PrefixDoublingResult",
+    "approximate_dist_prefixes",
+]

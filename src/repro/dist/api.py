@@ -1,0 +1,505 @@
+"""Public facade of the distributed string sorters.
+
+:func:`dsort` is the one-call entry point: it distributes the input over a
+simulated machine, runs one of the paper's algorithms SPMD, optionally
+verifies the output contract, and returns a :class:`DSortResult` bundling
+the per-PE outputs with the exact traffic report.
+
+The per-algorithm rank programs (:func:`ms_sort`, :func:`pdms_sort`,
+:func:`fkmerge_sort`, plus :func:`repro.dist.hquick.hquick_sort`) are also
+usable directly with :func:`repro.mpi.run_spmd` when a caller wants to
+embed a sorter inside a larger SPMD computation.
+
+Algorithms (Sections IV-VI):
+
+========== =================================================================
+hquick      hypercube quicksort, strings as atoms (baseline)
+fkmerge     Fischer-Kurpicz merge sort: centralised splitters, atomic merge
+ms-simple   distributed merge sort without the LCP optimisations
+ms          merge sort with LCP compression and LCP-aware multiway merging
+pdms        prefix-doubling merge sort: only DIST prefixes are communicated
+pdms-golomb PDMS with Golomb-coded fingerprint messages
+========== =================================================================
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..mpi.comm import Communicator
+from ..mpi.engine import run_spmd
+from ..net.cost_model import DEFAULT_MACHINE, MachineModel
+from ..net.metrics import TrafficReport
+from ..sequential import sort_strings_with_lcp
+from ..sequential.lcp_losertree import lcp_multiway_merge
+from ..sequential.losertree import multiway_merge
+from ..sequential.stats import CharStats
+from ..strings.checker import check_distributed_sort, check_prefix_permutation
+from ..strings.lcp import lcp_array
+from ..strings.stringset import validate_strings
+from .dn_estimator import estimate_dn_ratio, recommend_algorithm
+from .exchange import exchange_buckets
+from .hquick import hquick_sort
+from .partition import split_into_buckets
+from .prefix_doubling import approximate_dist_prefixes
+from .splitters import determine_splitters
+
+__all__ = [
+    "ALGORITHMS",
+    "MSConfig",
+    "PDMSConfig",
+    "DSortResult",
+    "distribute_strings",
+    "dsort",
+    "ms_sort",
+    "pdms_sort",
+    "fkmerge_sort",
+    "hquick_sort",
+]
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MSConfig:
+    """Tuning knobs of the distributed merge sort (MS / MS-simple)."""
+
+    sampling: str = "string"            # "string" | "character"
+    sample_sort: str = "central"        # "central" | "hquick"
+    local_sorter: str = "msd_radix"
+    oversampling: Optional[int] = None
+    lcp_compression: bool = True        # Step 3 front coding
+    lcp_merge: bool = True              # Step 4 LCP loser tree
+
+
+@dataclass
+class PDMSConfig:
+    """Tuning knobs of the prefix-doubling merge sort (PDMS / PDMS-Golomb)."""
+
+    sampling: str = "string"
+    sample_sort: str = "central"
+    local_sorter: str = "msd_radix"
+    oversampling: Optional[int] = None
+    epsilon: float = 1.0                # prefix growth factor (1 + epsilon)
+    initial_length: int = 16
+    golomb: bool = False
+
+
+# ---------------------------------------------------------------------------
+# input distribution
+# ---------------------------------------------------------------------------
+
+def distribute_strings(
+    data: Sequence, num_pes: int, by: str = "strings"
+) -> List[List[bytes]]:
+    """Deal a string array into ``num_pes`` contiguous, balanced blocks.
+
+    ``by="strings"`` balances string counts (block sizes differ by at most
+    one); ``by="chars"`` balances character mass, the right notion when
+    string lengths are skewed.  Order is preserved; ``str`` inputs are
+    UTF-8 encoded.
+    """
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    strings = validate_strings(data)
+    n = len(strings)
+    if by == "strings":
+        base, rem = divmod(n, num_pes)
+        blocks: List[List[bytes]] = []
+        pos = 0
+        for r in range(num_pes):
+            size = base + (1 if r < rem else 0)
+            blocks.append(strings[pos : pos + size])
+            pos += size
+        return blocks
+    if by == "chars":
+        total = sum(len(s) for s in strings)
+        if total == 0:
+            # no character mass to balance (e.g. all-empty strings):
+            # balancing counts is the only meaningful criterion left
+            return distribute_strings(strings, num_pes, by="strings")
+        blocks = [[] for _ in range(num_pes)]
+        cum = 0
+        block = 0
+        for s in strings:
+            blocks[block].append(s)
+            cum += len(s)
+            while block < num_pes - 1 and cum * num_pes >= (block + 1) * total:
+                block += 1
+        return blocks
+    raise ValueError(f"unknown distribution criterion {by!r}; use 'strings' or 'chars'")
+
+
+# ---------------------------------------------------------------------------
+# rank programs
+# ---------------------------------------------------------------------------
+
+def _local_sort(comm: Communicator, strings, sorter: str):
+    with comm.phase("local-sort"):
+        stats = CharStats()
+        out, lcps = sort_strings_with_lcp(strings, sorter, stats)
+        comm.record_local_work(stats.chars_inspected, len(out))
+    return out, lcps
+
+
+def ms_sort(
+    comm: Communicator, strings: Sequence[bytes], config: Optional[MSConfig] = None
+) -> Tuple[List[bytes], List[int]]:
+    """Distributed merge sort (Section V); returns ``(sorted, lcp_array)``."""
+    config = config or MSConfig()
+    local_sorted, lcps = _local_sort(comm, strings, config.local_sorter)
+    splitters = determine_splitters(
+        comm,
+        local_sorted,
+        scheme=config.sampling,
+        sample_sort=config.sample_sort,
+        oversampling=config.oversampling,
+    )
+    buckets = split_into_buckets(local_sorted, lcps, splitters)
+    received = exchange_buckets(
+        comm, buckets, lcp_compression=config.lcp_compression
+    )
+    with comm.phase("merge"):
+        stats = CharStats()
+        runs = [run for run, _ in received]
+        if config.lcp_merge:
+            out, out_lcps = lcp_multiway_merge(
+                runs, [h for _, h in received], stats
+            )
+        else:
+            out = multiway_merge(runs, stats)
+            out_lcps = lcp_array(out)
+        comm.record_local_work(stats.chars_inspected, len(out))
+    return out, out_lcps
+
+
+def fkmerge_sort(
+    comm: Communicator,
+    strings: Sequence[bytes],
+    oversampling: Optional[int] = None,
+    local_sorter: str = "msd_radix",
+) -> Tuple[List[bytes], None]:
+    """The FKmerge baseline: centralised sample sort, atomic multiway merge.
+
+    No LCP machinery anywhere — full strings travel and the merge rescans
+    common prefixes — and the splitters are sorted on PE 0 (the scalability
+    bottleneck Section VII-D measures).  Unlike the original implementation,
+    repeated strings are handled (documented deviation from the paper).
+    """
+    local_sorted, lcps = _local_sort(comm, strings, local_sorter)
+    splitters = determine_splitters(
+        comm,
+        local_sorted,
+        scheme="string",
+        sample_sort="central",
+        oversampling=oversampling,
+    )
+    buckets = split_into_buckets(local_sorted, lcps, splitters)
+    received = exchange_buckets(comm, buckets, lcp_compression=False)
+    with comm.phase("merge"):
+        stats = CharStats()
+        out = multiway_merge([run for run, _ in received], stats)
+        comm.record_local_work(stats.chars_inspected, len(out))
+    return out, None
+
+
+def pdms_sort(
+    comm: Communicator, strings: Sequence[bytes], config: Optional[PDMSConfig] = None
+):
+    """Prefix-doubling merge sort (Section VI).
+
+    Returns ``(prefixes, lcp_array, origins, extra)``: the globally sorted
+    approximate distinguishing prefixes held by this rank, their LCP array,
+    per-prefix ``(source PE, position in that PE's locally sorted array)``
+    origin labels, and a dict of protocol statistics.
+    """
+    config = config or PDMSConfig()
+    local_sorted, _ = _local_sort(comm, strings, config.local_sorter)
+
+    doubling = approximate_dist_prefixes(
+        comm,
+        local_sorted,
+        initial_length=config.initial_length,
+        epsilon=config.epsilon,
+        golomb=config.golomb,
+    )
+    prefixes = [s[:l] for s, l in zip(local_sorted, doubling.lengths)]
+    # prefixes of a sorted array are sorted (every prefix extends past the
+    # LCP with its neighbours, by the DIST guarantee), so the LCP array of
+    # the prefix sequence is valid input for bucketing
+    prefix_lcps = lcp_array(prefixes)
+
+    splitters = determine_splitters(
+        comm,
+        prefixes,
+        scheme=config.sampling,
+        sample_sort=config.sample_sort,
+        oversampling=config.oversampling,
+        weights=doubling.lengths if config.sampling == "character" else None,
+    )
+    buckets = split_into_buckets(prefixes, prefix_lcps, splitters)
+    # origin labels are (source PE, position in that PE's locally sorted
+    # array).  Each bucket is a contiguous run of that array, so only its
+    # start offset needs to travel; the receiver learns the source PE from
+    # the message slot and reconstructs the positions by counting.
+    starts = []
+    start = 0
+    for bucket_strings, _ in buckets:
+        starts.append(start)
+        start += len(bucket_strings)
+    received = exchange_buckets(
+        comm, buckets, lcp_compression=True, payloads=starts
+    )
+
+    with comm.phase("merge"):
+        decorated = [
+            [(s, (src, first + i)) for i, s in enumerate(run)]
+            for src, (run, _, first) in enumerate(received)
+        ]
+        merged = list(heapq.merge(*decorated, key=lambda item: item[0]))
+        out = [s for s, _ in merged]
+        origins = [origin for _, origin in merged]
+        out_lcps = lcp_array(out)
+        comm.record_local_work(sum(len(s) for s in out), len(out))
+
+    extra = {
+        "doubling_rounds": doubling.rounds,
+        "approx_dist_total": comm.allreduce(sum(doubling.lengths)),
+        "fingerprints_sent": comm.allreduce(doubling.fingerprints_sent),
+    }
+    return out, out_lcps, origins, extra
+
+
+# ---------------------------------------------------------------------------
+# algorithm registry
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _RankOutput:
+    """Uniform per-rank result shape across all algorithms."""
+
+    strings: List[bytes]
+    lcps: Optional[List[int]] = None
+    origins: Optional[List[Tuple[int, int]]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _run_hquick(comm, local, seed, options):
+    out, lcps = hquick_sort(
+        comm, local, seed=seed, local_sorter=options.get("local_sorter", "msd_radix")
+    )
+    return _RankOutput(out, lcps)
+
+
+def _run_fkmerge(comm, local, seed, options):
+    out, _ = fkmerge_sort(
+        comm,
+        local,
+        oversampling=options.get("oversampling"),
+        local_sorter=options.get("local_sorter", "msd_radix"),
+    )
+    return _RankOutput(out, None)
+
+
+def _ms_config(options: Dict[str, Any], lcp: bool) -> MSConfig:
+    return MSConfig(
+        sampling=options.get("sampling", "string"),
+        sample_sort=options.get("sample_sort", "central"),
+        local_sorter=options.get("local_sorter", "msd_radix"),
+        oversampling=options.get("oversampling"),
+        lcp_compression=lcp,
+        lcp_merge=lcp,
+    )
+
+
+def _run_ms(comm, local, seed, options):
+    out, lcps = ms_sort(comm, local, _ms_config(options, lcp=True))
+    return _RankOutput(out, lcps)
+
+
+def _run_ms_simple(comm, local, seed, options):
+    out, lcps = ms_sort(comm, local, _ms_config(options, lcp=False))
+    return _RankOutput(out, lcps)
+
+
+def _pdms_config(options: Dict[str, Any], golomb: bool) -> PDMSConfig:
+    return PDMSConfig(
+        sampling=options.get("sampling", "string"),
+        sample_sort=options.get("sample_sort", "central"),
+        local_sorter=options.get("local_sorter", "msd_radix"),
+        oversampling=options.get("oversampling"),
+        epsilon=options.get("epsilon", 1.0),
+        initial_length=options.get("initial_length", 16),
+        golomb=golomb,
+    )
+
+
+def _run_pdms(comm, local, seed, options):
+    out, lcps, origins, extra = pdms_sort(comm, local, _pdms_config(options, golomb=False))
+    return _RankOutput(out, lcps, origins, extra)
+
+
+def _run_pdms_golomb(comm, local, seed, options):
+    out, lcps, origins, extra = pdms_sort(comm, local, _pdms_config(options, golomb=True))
+    return _RankOutput(out, lcps, origins, extra)
+
+
+RankRunner = Callable[[Communicator, List[bytes], int, Dict[str, Any]], _RankOutput]
+
+ALGORITHMS: Dict[str, RankRunner] = {
+    "hquick": _run_hquick,
+    "fkmerge": _run_fkmerge,
+    "ms-simple": _run_ms_simple,
+    "ms": _run_ms,
+    "pdms": _run_pdms,
+    "pdms-golomb": _run_pdms_golomb,
+}
+
+_KNOWN_OPTIONS = {
+    "sampling",
+    "sample_sort",
+    "local_sorter",
+    "oversampling",
+    "epsilon",
+    "initial_length",
+}
+
+
+# ---------------------------------------------------------------------------
+# result object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DSortResult:
+    """Everything a caller (or the benchmark harness) wants to know about a run."""
+
+    algorithm: str
+    num_pes: int
+    num_strings: int
+    num_chars: int
+    inputs_per_pe: List[List[bytes]]
+    outputs_per_pe: List[List[bytes]]
+    lcps_per_pe: List[Optional[List[int]]]
+    origins_per_pe: Optional[List[List[Tuple[int, int]]]]
+    report: TrafficReport
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sorted_strings(self) -> List[bytes]:
+        """The globally sorted output as one flat list (PE order)."""
+        return [s for part in self.outputs_per_pe for s in part]
+
+    def bytes_per_string(self) -> float:
+        """The paper's headline metric: total bytes sent / input strings."""
+        return self.report.bytes_per_string(self.num_strings)
+
+    def modeled_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
+        """Modelled running time (local work bottleneck + communication)."""
+        return self.report.modeled_total_time(machine)
+
+
+# ---------------------------------------------------------------------------
+# the facade
+# ---------------------------------------------------------------------------
+
+def dsort(
+    data: Sequence,
+    algorithm: str = "ms",
+    num_pes: Optional[int] = None,
+    pre_distributed: bool = False,
+    check: bool = False,
+    seed: int = 0,
+    timeout: float = 600.0,
+    **options: Any,
+) -> DSortResult:
+    """Sort a string array on a simulated distributed machine.
+
+    Parameters
+    ----------
+    data:
+        Either a flat sequence of strings (``bytes`` or ``str``) or, with
+        ``pre_distributed=True``, a sequence of per-PE blocks.
+    algorithm:
+        One of :data:`ALGORITHMS`, or ``"auto"`` to let a D/N estimate pick
+        between ``ms`` and ``pdms-golomb`` at run time.
+    num_pes:
+        Number of simulated PEs (ignored with ``pre_distributed``, which
+        derives it from the number of blocks).  Defaults to 8.
+    check:
+        Verify the output contract (Section V for the full-string sorters,
+        the prefix-permutation contract of Section VI for PDMS).
+    seed:
+        Randomisation seed (hQuick pivot sampling, D/N estimation); never
+        affects the sorted output.
+    options:
+        Algorithm knobs: ``sampling``, ``sample_sort``, ``local_sorter``,
+        ``oversampling``, ``epsilon``, ``initial_length``.  Options not
+        applicable to the chosen algorithm are ignored.
+    """
+    if algorithm != "auto" and algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"available: {['auto'] + sorted(ALGORITHMS)}"
+        )
+    unknown = set(options) - _KNOWN_OPTIONS
+    if unknown:
+        raise ValueError(
+            f"unknown dsort option(s) {sorted(unknown)}; "
+            f"available: {sorted(_KNOWN_OPTIONS)}"
+        )
+
+    if pre_distributed:
+        blocks = [validate_strings(b) for b in data]
+        num_pes = len(blocks)
+        if num_pes == 0:
+            raise ValueError("pre_distributed input needs at least one block")
+    else:
+        num_pes = 8 if num_pes is None else num_pes
+        blocks = distribute_strings(data, num_pes)
+
+    def rank_program(comm: Communicator, local: List[bytes]) -> _RankOutput:
+        if algorithm == "auto":
+            estimate = estimate_dn_ratio(comm, local, seed=seed)
+            chosen = recommend_algorithm(estimate)
+            output = ALGORITHMS[chosen](comm, local, seed, options)
+            output.extra["chosen_algorithm"] = chosen
+            output.extra["estimated_dn"] = estimate.dn_ratio
+            return output
+        return ALGORITHMS[algorithm](comm, local, seed, options)
+
+    results, report = run_spmd(
+        num_pes,
+        rank_program,
+        args_per_rank=[(b,) for b in blocks],
+        timeout=timeout,
+    )
+
+    outputs = [r.strings for r in results]
+    lcps = [r.lcps for r in results]
+    has_origins = any(r.origins is not None for r in results)
+    origins = [r.origins or [] for r in results] if has_origins else None
+
+    result = DSortResult(
+        algorithm=algorithm,
+        num_pes=num_pes,
+        num_strings=sum(len(b) for b in blocks),
+        num_chars=sum(len(s) for b in blocks for s in b),
+        inputs_per_pe=blocks,
+        outputs_per_pe=outputs,
+        lcps_per_pe=lcps,
+        origins_per_pe=origins,
+        report=report,
+        extra=dict(results[0].extra) if results else {},
+    )
+
+    if check:
+        if has_origins:
+            check_prefix_permutation(blocks, outputs)
+        else:
+            all_lcps = lcps if all(h is not None for h in lcps) else None
+            check_distributed_sort(blocks, outputs, all_lcps)
+    return result

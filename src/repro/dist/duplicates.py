@@ -1,0 +1,147 @@
+"""Distributed duplicate detection on prefix fingerprints (Section VI).
+
+The prefix-doubling algorithms never compare prefixes directly; they hash
+each candidate prefix to a fixed-width *fingerprint* and ask the machine a
+multiset question: which of my fingerprints occur exactly once globally?
+
+:func:`find_unique_fingerprints` answers it with the classic two-phase
+exchange: fingerprints are range-partitioned to home PEs (so every home PE
+sees all copies of a value), counted there, and a bit vector of verdicts
+travels back.  With ``golomb=True`` each fingerprint message is sent as a
+Golomb-coded sorted set whenever that is smaller than the plain fixed-width
+array — the PDMS-Golomb optimisation of Section VI-B.
+
+A false *duplicate* verdict (fingerprint collision) merely makes the caller
+keep a string active for another doubling round — an overestimate, which the
+DIST approximation tolerates by design.  A false *unique* verdict is
+impossible: equal prefixes always hash equally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Iterator, List, Optional, Sequence
+
+from ..mpi.comm import Communicator
+from ..mpi.serialization import WireSized, varint_size
+from .golomb import GolombCodedSet
+
+__all__ = [
+    "prefix_fingerprint",
+    "FingerprintBlock",
+    "BitVector",
+    "find_unique_fingerprints",
+]
+
+
+def prefix_fingerprint(prefix: bytes, salt: int = 0, bits: int = 64) -> int:
+    """Deterministic ``bits``-wide fingerprint of a string prefix.
+
+    ``salt`` decouples the hash functions of different doubling rounds so a
+    collision in one round cannot persist into the next.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError("bits must be in [1, 64]")
+    digest = hashlib.blake2b(
+        prefix, digest_size=8, key=salt.to_bytes(8, "little", signed=True)
+    ).digest()
+    return int.from_bytes(digest, "big") & ((1 << bits) - 1)
+
+
+class FingerprintBlock(WireSized):
+    """A plain array of fingerprints: fixed ``bits`` per value on the wire."""
+
+    def __init__(self, values: Sequence[int], bits: int = 64):
+        self.values = list(values)
+        self.bits = bits
+
+    def wire_bytes(self) -> int:
+        return varint_size(len(self.values)) + len(self.values) * ((self.bits + 7) // 8)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+
+class BitVector(WireSized):
+    """A packed vector of booleans (the verdict replies)."""
+
+    def __init__(self, flags: Sequence[bool]):
+        self.flags = [bool(f) for f in flags]
+
+    def wire_bytes(self) -> int:
+        return varint_size(len(self.flags)) + (len(self.flags) + 7) // 8
+
+    def __len__(self) -> int:
+        return len(self.flags)
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self.flags)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.flags[index]
+
+
+def find_unique_fingerprints(
+    comm: Communicator,
+    fingerprints: Sequence[int],
+    bits: int = 64,
+    golomb: bool = False,
+    phase: Optional[str] = None,
+) -> List[bool]:
+    """Per-fingerprint verdicts: is this value globally unique?
+
+    Verdicts come back in the order of ``fingerprints``.  Values must fit in
+    ``bits`` bits.  ``golomb=True`` enables the compressed message format
+    (the smaller of Golomb-coded and plain is chosen per message, as a real
+    implementation would).  ``phase`` overrides the accounting phase label.
+    """
+    limit = 1 << bits
+    for v in fingerprints:
+        if not 0 <= v < limit:
+            raise ValueError(
+                f"fingerprint {v} does not fit in {bits} bits"
+            )
+    p = comm.size
+
+    with comm.phase(phase if phase is not None else "duplicate-detection"):
+        # range-partition values to home PEs; home PE d owns the slice
+        # [ceil(d*limit/p), ceil((d+1)*limit/p)).  Values are sent relative
+        # to the slice base, which keeps Golomb deltas small; equality is
+        # preserved because all copies of a value share a home (and base).
+        order_per_dest: List[List[int]] = [[] for _ in range(p)]
+        for i, v in enumerate(fingerprints):
+            order_per_dest[min(p - 1, v * p // limit)].append(i)
+
+        slice_span = limit // p + 1
+        messages = []
+        for dest in range(p):
+            idxs = order_per_dest[dest]
+            idxs.sort(key=lambda i: fingerprints[i])
+            base = -(-dest * limit // p)
+            values = [fingerprints[i] - base for i in idxs]
+            block = FingerprintBlock(values, bits)
+            if golomb:
+                coded = GolombCodedSet(values, universe=slice_span)
+                messages.append(
+                    coded if coded.wire_bytes() < block.wire_bytes() else block
+                )
+            else:
+                messages.append(block)
+
+        received = comm.alltoall(messages)
+        incoming = [list(msg) for msg in received]
+        counts = Counter(v for values in incoming for v in values)
+        replies = [
+            BitVector([counts[v] == 1 for v in values]) for values in incoming
+        ]
+        verdicts_home = comm.alltoall(replies)
+
+        out = [False] * len(fingerprints)
+        for dest in range(p):
+            for i, unique in zip(order_per_dest[dest], verdicts_home[dest]):
+                out[i] = unique
+    return out

@@ -1,0 +1,163 @@
+"""Regular sampling and bucket computation (Section V-A, Theorems 2 and 3).
+
+All functions here are pure, per-PE helpers: they act on one rank's sorted
+local string array and never touch the communicator, so Theorems 2/3 can be
+unit-tested without a running machine.  :mod:`repro.dist.splitters` lifts
+them into the distributed splitter-determination protocol.
+
+Two regular sampling schemes are implemented:
+
+* *string-based*: ``v`` samples at equidistant positions of the local array
+  — bounds the number of **strings** per bucket (Theorem 2);
+* *character-based*: ``v`` samples at equidistant positions of the local
+  array's character mass (optionally with caller-supplied weights, e.g. the
+  approximated distinguishing prefix lengths used by PDMS) — bounds the
+  number of **characters** per bucket (Theorem 3), which is what keeps the
+  skewed instances of Section VII-E balanced.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import accumulate
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "string_based_samples",
+    "character_based_samples",
+    "select_splitters",
+    "bucket_boundaries",
+    "split_into_buckets",
+    "bucket_sizes_upper_bound_strings",
+    "bucket_sizes_upper_bound_chars",
+]
+
+
+def string_based_samples(sorted_strings: Sequence[bytes], v: int) -> List[bytes]:
+    """``v`` regular samples of a sorted local array (Theorem 2's scheme).
+
+    Sample ``k`` sits at position ``(k+1)·n/(v+1)`` (1-based), i.e. the
+    samples split the local array into ``v+1`` equal parts.  Small arrays
+    yield repeated samples rather than fewer of them, so every PE always
+    contributes exactly ``v`` samples to the global sample.
+    """
+    n = len(sorted_strings)
+    if n == 0 or v <= 0:
+        return []
+    return [
+        sorted_strings[max(0, ((k + 1) * n) // (v + 1) - 1)] for k in range(v)
+    ]
+
+
+def character_based_samples(
+    sorted_strings: Sequence[bytes],
+    v: int,
+    weights: Optional[Sequence[int]] = None,
+) -> List[bytes]:
+    """``v`` samples at equidistant positions of the character mass (Theorem 3).
+
+    ``weights`` defaults to the string lengths; PDMS passes the approximated
+    distinguishing prefix lengths instead so that splitters balance the data
+    that is actually communicated.  All-zero weights fall back to
+    string-based sampling.
+    """
+    n = len(sorted_strings)
+    if weights is not None and len(weights) != n:
+        raise ValueError(
+            f"weights length {len(weights)} != number of strings {n}"
+        )
+    if n == 0 or v <= 0:
+        return []
+    if weights is None:
+        weights = [len(s) for s in sorted_strings]
+    total = sum(weights)
+    if total <= 0:
+        return string_based_samples(sorted_strings, v)
+    cumulative = list(accumulate(weights))
+    out: List[bytes] = []
+    for k in range(v):
+        target = ((k + 1) * total) // (v + 1)
+        idx = min(n - 1, bisect_right(cumulative, target))
+        out.append(sorted_strings[idx])
+    return out
+
+
+def select_splitters(sorted_sample: Sequence[bytes], parts: int) -> List[bytes]:
+    """``parts - 1`` splitters at equidistant ranks of the global sorted sample."""
+    m = len(sorted_sample)
+    if parts <= 1 or m == 0:
+        return []
+    return [
+        sorted_sample[min(m - 1, max(0, ((j + 1) * m) // parts - 1))]
+        for j in range(parts - 1)
+    ]
+
+
+def bucket_boundaries(
+    sorted_strings: Sequence[bytes], splitters: Sequence[bytes]
+) -> List[int]:
+    """Cumulative bucket boundaries of a sorted local array.
+
+    Bucket ``j`` holds the strings in ``(f_{j-1}, f_j]`` — ties with a
+    splitter go to the *lower* bucket, which is what makes exact duplicates
+    land on a single PE.  The return value has ``len(splitters) + 2``
+    entries, starting at 0 and ending at ``len(sorted_strings)``.
+    """
+    for i in range(1, len(splitters)):
+        if splitters[i - 1] > splitters[i]:
+            raise ValueError("splitters must be sorted")
+    bounds = [0]
+    for f in splitters:
+        bounds.append(bisect_right(sorted_strings, f, lo=bounds[-1]))
+    bounds.append(len(sorted_strings))
+    return bounds
+
+
+def split_into_buckets(
+    sorted_strings: Sequence[bytes],
+    lcps: Sequence[int],
+    splitters: Sequence[bytes],
+) -> List[Tuple[List[bytes], List[int]]]:
+    """Cut a sorted local array (with LCP array) into per-destination buckets.
+
+    The LCP values inside a bucket stay valid because the bucket is a
+    contiguous run; only the first entry is reset to 0 (its predecessor goes
+    to a different PE).
+    """
+    if len(sorted_strings) != len(lcps):
+        raise ValueError(
+            f"strings ({len(sorted_strings)}) and lcps ({len(lcps)}) "
+            "must have equal length"
+        )
+    bounds = bucket_boundaries(sorted_strings, splitters)
+    buckets: List[Tuple[List[bytes], List[int]]] = []
+    for j in range(len(bounds) - 1):
+        lo, hi = bounds[j], bounds[j + 1]
+        bucket_strings = list(sorted_strings[lo:hi])
+        bucket_lcps = list(lcps[lo:hi])
+        if bucket_lcps:
+            bucket_lcps[0] = 0
+        buckets.append((bucket_strings, bucket_lcps))
+    return buckets
+
+
+def bucket_sizes_upper_bound_strings(n: int, p: int, v: int) -> float:
+    """Theorem 2: with ``v`` regular samples per PE, every bucket receives at
+    most ``n/p + n/v`` strings (up to rounding of the sample positions)."""
+    if p <= 0 or v <= 0:
+        raise ValueError("p and v must be positive")
+    return n / p + n / v
+
+
+def bucket_sizes_upper_bound_chars(
+    total_chars: int, p: int, v: int, max_len: int
+) -> float:
+    """Theorem 3: with ``v`` character-based samples per PE, every bucket
+    receives at most ``N/p + N/v + p·l_hat`` characters, where ``l_hat`` is
+    the longest string (each sample position is quantised to a string
+    boundary, costing up to one string length per contributing PE)."""
+    if p <= 0 or v <= 0:
+        raise ValueError("p and v must be positive")
+    if max_len < 0:
+        raise ValueError("max_len must be non-negative")
+    return total_chars / p + total_chars / v + p * max_len
