@@ -1,0 +1,199 @@
+"""Micro-benchmark of the packed (vectorized) exchange hot path — PR 2.
+
+Measures, stage by stage, the 100k-strings/PE exchange that the ROADMAP
+called unreachable with the scalar ``list[bytes]`` code:
+
+* ``lcp``        — LCP array of the locally sorted run (packing included);
+* ``partition``  — cutting the run into per-destination buckets;
+* ``encode``     — LCP front coding of every bucket;
+* ``wire``       — varint/payload wire-byte accounting of every block;
+* ``decode``     — reconstructing the received runs.
+
+Each stage runs twice: once over ``list[bytes]`` with the scalar code
+(``use_packed(False)``) and once over :class:`PackedStringArray` with the
+vectorized kernels.  The acceptance gate asserts the aggregate pipeline is
+**≥ 5× faster** and — crucially — that wire bytes and decoded strings are
+bit-identical.  A second test pins byte-identical sorted output and traffic
+across all six ``dsort`` algorithms with the packed path on and off.
+
+Results are written to ``BENCH_PR2.json`` (strings/second per stage) so
+future PRs have a trajectory to regress against; the CI perf-smoke job runs
+exactly this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import scaled
+from repro.dist.api import ALGORITHMS, dsort
+from repro.dist.exchange import LcpCompressedBlock, StringBlock
+from repro.dist.partition import split_into_buckets, string_based_samples, select_splitters
+from repro.sequential import sort_strings_with_lcp
+from repro.strings.generators import commoncrawl_like, dn_instance
+from repro.strings.lcp import lcp
+from repro.strings.packed import (
+    PackedStringArray,
+    packed_lcp_array,
+    use_packed,
+)
+
+# the ROADMAP's target scale: one PE's share of a large exchange
+NUM_STRINGS = scaled(100_000, minimum=20_000)
+NUM_DESTINATIONS = 8
+SPEEDUP_GATE = 5.0
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+
+def _scalar_lcp_array(strings):
+    out = [0] * len(strings)
+    for i in range(1, len(strings)):
+        out[i] = lcp(strings[i - 1], strings[i])
+    return out
+
+
+def _timed(fn, reps=4):
+    """Best-of-``reps`` wall time (first runs pay page-fault warmup)."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def local_run():
+    """One PE's locally sorted run plus the splitters it would receive."""
+    corpus = commoncrawl_like(NUM_STRINGS, seed=11)
+    srt, lcps = sort_strings_with_lcp(corpus)
+    samples = string_based_samples(srt, 16 * NUM_DESTINATIONS)
+    splitters = select_splitters(sorted(samples), NUM_DESTINATIONS)
+    return srt, lcps, splitters
+
+
+def _measure_pipelines(srt, splitters):
+    """One measurement pass: per-stage best-of-reps times for both paths."""
+    # -- scalar pipeline (the pre-PR2 code path) ------------------------------
+    with use_packed(False):
+        t_lcp_s, h_s = _timed(lambda: _scalar_lcp_array(srt))
+        t_part_s, buckets_s = _timed(lambda: split_into_buckets(srt, h_s, splitters))
+        t_enc_s, blocks_s = _timed(
+            lambda: [LcpCompressedBlock.encode(s, h) for s, h in buckets_s]
+        )
+        t_wire_s, wires_s = _timed(lambda: [b.wire_bytes() for b in blocks_s])
+        t_dec_s, decoded_s = _timed(lambda: [b.decode() for b in blocks_s])
+
+    # -- packed pipeline (packing cost charged to the lcp stage) --------------
+    def packed_lcp():
+        arr = PackedStringArray.from_strings(srt)
+        return arr, packed_lcp_array(arr)
+
+    t_lcp_p, (arr, h_p) = _timed(packed_lcp)
+    t_part_p, buckets_p = _timed(lambda: split_into_buckets(arr, h_p, splitters))
+    t_enc_p, blocks_p = _timed(
+        lambda: [LcpCompressedBlock.encode(s, h) for s, h in buckets_p]
+    )
+    t_wire_p, wires_p = _timed(lambda: [b.wire_bytes() for b in blocks_p])
+    t_dec_p, decoded_p = _timed(lambda: [b.decode() for b in blocks_p])
+
+    # -- identity: the packed path must change nothing but the speed ----------
+    assert h_p.tolist() == h_s
+    assert wires_p == wires_s
+    assert [s for run, _ in decoded_p for s in run] == [
+        s for run, _ in decoded_s for s in run
+    ]
+    assert [h for _, hs in decoded_p for h in hs] == [
+        h for _, hs in decoded_s for h in hs
+    ]
+
+    scalar_times = {
+        "lcp": t_lcp_s,
+        "partition": t_part_s,
+        "encode": t_enc_s,
+        "wire": t_wire_s,
+        "decode": t_dec_s,
+    }
+    packed_times = {
+        "lcp": t_lcp_p,
+        "partition": t_part_p,
+        "encode": t_enc_p,
+        "wire": t_wire_p,
+        "decode": t_dec_p,
+    }
+    return scalar_times, packed_times
+
+
+def test_packed_exchange_hotpath_speedup(local_run):
+    srt, lcps, splitters = local_run
+    n = len(srt)
+    stages = {}
+
+    # wall-clock gates flake under noisy-neighbour CPU contention; keep the
+    # best of a few attempts (each stage is already best-of-reps inside)
+    best = None
+    for attempt in range(3):
+        scalar_times, packed_times = _measure_pipelines(srt, splitters)
+        ratio = sum(scalar_times.values()) / sum(packed_times.values())
+        if best is None or ratio > best[0]:
+            best = (ratio, scalar_times, packed_times)
+        if best[0] >= SPEEDUP_GATE * 1.1:
+            break
+    _, scalar_times, packed_times = best
+    for stage in scalar_times:
+        s, p = scalar_times[stage], packed_times[stage]
+        stages[stage] = {
+            "scalar_seconds": round(s, 6),
+            "packed_seconds": round(p, 6),
+            "scalar_strings_per_sec": round(n / s) if s > 0 else None,
+            "packed_strings_per_sec": round(n / p) if p > 0 else None,
+            "speedup": round(s / p, 2) if p > 0 else None,
+        }
+
+    total_s = sum(scalar_times.values())
+    total_p = sum(packed_times.values())
+    speedup = total_s / total_p
+    payload = {
+        "benchmark": "packed exchange hot path (one PE, LCP-compressed)",
+        "num_strings": n,
+        "num_destinations": NUM_DESTINATIONS,
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+        "stages": stages,
+        "aggregate": {
+            "scalar_seconds": round(total_s, 6),
+            "packed_seconds": round(total_p, 6),
+            "scalar_strings_per_sec": round(n / total_s),
+            "packed_strings_per_sec": round(n / total_p),
+            "speedup": round(speedup, 2),
+            "gate": SPEEDUP_GATE,
+        },
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SPEEDUP_GATE, (
+        f"packed exchange path only {speedup:.1f}x faster than scalar "
+        f"(gate {SPEEDUP_GATE}x); stages: "
+        + ", ".join(f"{k}={v['speedup']}x" for k, v in stages.items())
+    )
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_all_algorithms_byte_identical(algorithm):
+    """Packed vs scalar path: identical sorted output and wire accounting."""
+    corpus = dn_instance(scaled(600, minimum=200), 0.7, length=48, seed=13)
+    with use_packed(True):
+        fast = dsort(corpus, algorithm=algorithm, num_pes=4, check=True, seed=5)
+    with use_packed(False):
+        slow = dsort(corpus, algorithm=algorithm, num_pes=4, check=True, seed=5)
+    assert fast.sorted_strings == slow.sorted_strings
+    assert fast.outputs_per_pe == slow.outputs_per_pe
+    assert fast.report.total_bytes_sent == slow.report.total_bytes_sent
+    assert dict(fast.report.phase_bytes) == dict(slow.report.phase_bytes)
+    assert fast.report.bytes_sent_per_pe == slow.report.bytes_sent_per_pe

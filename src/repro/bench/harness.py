@@ -26,7 +26,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..dist.api import DSortResult, dsort
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
-from ..strings.lcp import dn_ratio
+from ..strings.lcp import dn_ratio, merge_lcp_statistics
+from ..strings.stringset import StringSet
 
 __all__ = ["CellResult", "ExperimentResult", "ExperimentRunner", "format_table"]
 
@@ -234,8 +235,14 @@ class ExperimentRunner:
             blocks = input_factory(p, self.seed)
             stats_extra: Dict[str, object] = {}
             if input_stats:
-                flat = [s for b in blocks for s in b]
-                stats_extra["dn_ratio"] = round(dn_ratio(flat), 4)
+                # StringSet caches one sorted packed copy of the corpus, so
+                # D/N and the LCP statistics share a single sort instead of
+                # each re-sorting the full input
+                corpus = StringSet([s for b in blocks for s in b])
+                stats_extra["dn_ratio"] = round(dn_ratio(corpus), 4)
+                mean_lcp, lcp_frac = merge_lcp_statistics(corpus)
+                stats_extra["mean_lcp"] = round(mean_lcp, 2)
+                stats_extra["lcp_fraction"] = round(lcp_frac, 4)
             for alg in algorithms:
                 cell = self.run_cell(
                     experiment, alg, p, input_name, blocks, **options

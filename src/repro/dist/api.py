@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..mpi.comm import Communicator
 from ..mpi.engine import run_spmd
@@ -38,7 +40,13 @@ from ..sequential.losertree import multiway_merge
 from ..sequential.stats import CharStats
 from ..strings.checker import check_distributed_sort, check_prefix_permutation
 from ..strings.lcp import lcp_array
-from ..strings.stringset import validate_strings
+from ..strings.packed import (
+    PackedStringArray,
+    packed_enabled,
+    packed_lcp_array,
+    truncate,
+)
+from ..strings.stringset import StringSet, validate_strings
 from .dn_estimator import estimate_dn_ratio, recommend_algorithm
 from .exchange import exchange_buckets
 from .hquick import hquick_sort
@@ -93,6 +101,44 @@ class PDMSConfig:
 # input distribution
 # ---------------------------------------------------------------------------
 
+def _block_num_chars(block: Sequence[bytes]) -> int:
+    if isinstance(block, PackedStringArray):
+        return block.num_chars
+    return sum(len(s) for s in block)
+
+
+def _distribute_packed(
+    data: PackedStringArray, num_pes: int, by: str
+) -> List[PackedStringArray]:
+    """Zero-copy distribution of a packed array: blocks are buffer views."""
+    n = len(data)
+    if by == "strings":
+        return [
+            data[_strings_lo(n, num_pes, r) : _strings_lo(n, num_pes, r + 1)]
+            for r in range(num_pes)
+        ]
+    if by == "chars":
+        total = data.num_chars
+        if total == 0:
+            return _distribute_packed(data, num_pes, "strings")
+        # vectorized twin of the scalar greedy loop: after appending string
+        # i the target block is min(p-1, cum_i * p // total), and string i
+        # lands in the block that was current *before* it was appended
+        cum = np.cumsum(data.lengths)
+        after = np.minimum(num_pes - 1, (cum * num_pes) // total)
+        owner = np.concatenate([np.zeros(1, dtype=np.int64), after[:-1]]) if n else after
+        counts = np.bincount(owner, minlength=num_pes) if n else np.zeros(num_pes, int)
+        bounds = np.zeros(num_pes + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return [data[int(bounds[r]) : int(bounds[r + 1])] for r in range(num_pes)]
+    raise ValueError(f"unknown distribution criterion {by!r}; use 'strings' or 'chars'")
+
+
+def _strings_lo(n: int, num_pes: int, r: int) -> int:
+    base, rem = divmod(n, num_pes)
+    return r * base + min(r, rem)
+
+
 def distribute_strings(
     data: Sequence, num_pes: int, by: str = "strings"
 ) -> List[List[bytes]]:
@@ -102,9 +148,16 @@ def distribute_strings(
     one); ``by="chars"`` balances character mass, the right notion when
     string lengths are skewed.  Order is preserved; ``str`` inputs are
     UTF-8 encoded.
+
+    :class:`StringSet` and :class:`PackedStringArray` inputs are distributed
+    **zero-copy**: each block is a view into the shared character buffer.
     """
     if num_pes <= 0:
         raise ValueError("num_pes must be positive")
+    if isinstance(data, StringSet):
+        data = data.packed()
+    if isinstance(data, PackedStringArray):
+        return _distribute_packed(data, num_pes, by)
     strings = validate_strings(data)
     n = len(strings)
     if by == "strings":
@@ -139,11 +192,28 @@ def distribute_strings(
 # ---------------------------------------------------------------------------
 
 def _local_sort(comm: Communicator, strings, sorter: str):
+    if isinstance(strings, PackedStringArray):
+        strings = strings.to_list()
     with comm.phase("local-sort"):
         stats = CharStats()
         out, lcps = sort_strings_with_lcp(strings, sorter, stats)
         comm.record_local_work(stats.chars_inspected, len(out))
     return out, lcps
+
+
+def _as_hot_path(local_sorted, lcps):
+    """Lift a locally sorted run onto the packed hot path (when enabled).
+
+    From here to the exchange everything — sampling, bucket boundaries,
+    front coding, wire accounting — runs over the contiguous buffer; with
+    the fast paths disabled the original ``list``-based code runs instead.
+    """
+    if packed_enabled():
+        return (
+            PackedStringArray.from_strings(local_sorted),
+            np.asarray(lcps, dtype=np.int64),
+        )
+    return local_sorted, lcps
 
 
 def ms_sort(
@@ -152,16 +222,20 @@ def ms_sort(
     """Distributed merge sort (Section V); returns ``(sorted, lcp_array)``."""
     config = config or MSConfig()
     local_sorted, lcps = _local_sort(comm, strings, config.local_sorter)
+    local_view, lcps_view = _as_hot_path(local_sorted, lcps)
     splitters = determine_splitters(
         comm,
-        local_sorted,
+        local_view,
         scheme=config.sampling,
         sample_sort=config.sample_sort,
         oversampling=config.oversampling,
     )
-    buckets = split_into_buckets(local_sorted, lcps, splitters)
+    buckets = split_into_buckets(local_view, lcps_view, splitters)
     received = exchange_buckets(
-        comm, buckets, lcp_compression=config.lcp_compression
+        comm,
+        buckets,
+        lcp_compression=config.lcp_compression,
+        ship_lcps=config.lcp_merge,
     )
     with comm.phase("merge"):
         stats = CharStats()
@@ -191,15 +265,19 @@ def fkmerge_sort(
     repeated strings are handled (documented deviation from the paper).
     """
     local_sorted, lcps = _local_sort(comm, strings, local_sorter)
+    local_view, lcps_view = _as_hot_path(local_sorted, lcps)
     splitters = determine_splitters(
         comm,
-        local_sorted,
+        local_view,
         scheme="string",
         sample_sort="central",
         oversampling=oversampling,
     )
-    buckets = split_into_buckets(local_sorted, lcps, splitters)
-    received = exchange_buckets(comm, buckets, lcp_compression=False)
+    buckets = split_into_buckets(local_view, lcps_view, splitters)
+    # the baseline has no LCP machinery on the wire: strings travel verbatim
+    received = exchange_buckets(
+        comm, buckets, lcp_compression=False, ship_lcps=False
+    )
     with comm.phase("merge"):
         stats = CharStats()
         out = multiway_merge([run for run, _ in received], stats)
@@ -227,11 +305,17 @@ def pdms_sort(
         epsilon=config.epsilon,
         golomb=config.golomb,
     )
-    prefixes = [s[:l] for s, l in zip(local_sorted, doubling.lengths)]
     # prefixes of a sorted array are sorted (every prefix extends past the
     # LCP with its neighbours, by the DIST guarantee), so the LCP array of
     # the prefix sequence is valid input for bucketing
-    prefix_lcps = lcp_array(prefixes)
+    if packed_enabled():
+        prefixes = truncate(
+            PackedStringArray.from_strings(local_sorted), doubling.lengths
+        )
+        prefix_lcps = packed_lcp_array(prefixes)
+    else:
+        prefixes = [s[:l] for s, l in zip(local_sorted, doubling.lengths)]
+        prefix_lcps = lcp_array(prefixes)
 
     splitters = determine_splitters(
         comm,
@@ -393,6 +477,10 @@ class DSortResult:
         """The globally sorted output as one flat list (PE order)."""
         return [s for part in self.outputs_per_pe for s in part]
 
+    def packed_output(self) -> "PackedStringArray":
+        """The globally sorted output as one packed array (PE order)."""
+        return PackedStringArray.from_strings(self.sorted_strings)
+
     def bytes_per_string(self) -> float:
         """The paper's headline metric: total bytes sent / input strings."""
         return self.report.bytes_per_string(self.num_strings)
@@ -421,8 +509,10 @@ def dsort(
     Parameters
     ----------
     data:
-        Either a flat sequence of strings (``bytes`` or ``str``) or, with
-        ``pre_distributed=True``, a sequence of per-PE blocks.
+        Either a flat sequence of strings (``bytes`` or ``str``), a
+        :class:`StringSet`, a :class:`PackedStringArray` (both distributed
+        zero-copy as buffer views) or, with ``pre_distributed=True``, a
+        sequence of per-PE blocks (lists or packed arrays).
     algorithm:
         One of :data:`ALGORITHMS`, or ``"auto"`` to let a D/N estimate pick
         between ``ms`` and ``pdms-golomb`` at run time.
@@ -453,7 +543,10 @@ def dsort(
         )
 
     if pre_distributed:
-        blocks = [validate_strings(b) for b in data]
+        blocks = [
+            b if isinstance(b, PackedStringArray) else validate_strings(b)
+            for b in data
+        ]
         num_pes = len(blocks)
         if num_pes == 0:
             raise ValueError("pre_distributed input needs at least one block")
@@ -487,7 +580,7 @@ def dsort(
         algorithm=algorithm,
         num_pes=num_pes,
         num_strings=sum(len(b) for b in blocks),
-        num_chars=sum(len(s) for b in blocks for s in b),
+        num_chars=sum(_block_num_chars(b) for b in blocks),
         inputs_per_pe=blocks,
         outputs_per_pe=outputs,
         lcps_per_pe=lcps,

@@ -15,37 +15,71 @@ available:
 Both classes implement ``wire_bytes`` so the traffic meter charges exactly
 what a real implementation would put on the wire; the Python objects
 themselves move by reference inside the simulated machine.
+
+Both classes are **dual-backed**: constructed from a
+:class:`repro.strings.packed.PackedStringArray` bucket (the hot path) all
+encoding, wire accounting and decoding run as vectorized numpy kernels over
+the contiguous byte buffer; constructed from ``list[bytes]`` the original
+scalar code runs.  Wire sizes and decoded contents are bit-identical either
+way — the benchmark suite pins this across all six ``dsort`` algorithms.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..mpi.comm import Communicator
-from ..mpi.serialization import WireSized, varint_size
+from ..mpi.serialization import (
+    WireSized,
+    packed_wire_bytes,
+    varint_size,
+    varint_total,
+)
 from ..strings.lcp import lcp_array
+from ..strings.packed import (
+    PackedStringArray,
+    front_code,
+    front_decode,
+    packed_lcp_array,
+)
 
 __all__ = ["StringBlock", "LcpCompressedBlock", "exchange_buckets"]
+
+Strings = Union[Sequence[bytes], PackedStringArray]
+Lcps = Union[Sequence[int], np.ndarray, None]
 
 
 class StringBlock(WireSized):
     """One bucket sent verbatim, optionally together with its LCP array."""
 
-    def __init__(
-        self, strings: Sequence[bytes], lcps: Optional[Sequence[int]] = None
-    ):
+    def __init__(self, strings: Strings, lcps: Lcps = None):
         if lcps is not None and len(strings) != len(lcps):
             raise ValueError("strings and lcps must have equal length")
-        self.strings = list(strings)
-        self.lcps = list(lcps) if lcps is not None else None
+        if isinstance(strings, PackedStringArray):
+            self._packed: Optional[PackedStringArray] = strings
+            self.strings: Sequence[bytes] = strings
+            self.lcps = None if lcps is None else np.asarray(lcps, dtype=np.int64)
+        else:
+            self._packed = None
+            self.strings = list(strings)
+            self.lcps = list(lcps) if lcps is not None else None
 
     def decode(self) -> Tuple[List[bytes], List[int]]:
         """``(strings, lcps)``; the LCP array is recomputed when not shipped."""
+        if self._packed is not None:
+            strings = self._packed.to_list()
+            if self.lcps is not None:
+                return strings, self.lcps.tolist()
+            return strings, packed_lcp_array(self._packed).tolist()
         strings = list(self.strings)
         lcps = list(self.lcps) if self.lcps is not None else lcp_array(strings)
         return strings, lcps
 
     def wire_bytes(self) -> int:
+        if self._packed is not None:
+            return packed_wire_bytes(self._packed, self.lcps)
         total = varint_size(len(self.strings))
         for s in self.strings:
             total += varint_size(len(s)) + len(s)
@@ -58,19 +92,44 @@ class LcpCompressedBlock(WireSized):
     """One bucket with LCP front coding: ``(lcp, suffix-past-lcp)`` per string."""
 
     def __init__(self, entries: Sequence[Tuple[int, bytes]]):
-        self.entries = list(entries)
+        self.entries: Optional[List[Tuple[int, bytes]]] = list(entries)
+        self._lcps: Optional[np.ndarray] = None
+        self._suffixes: Optional[PackedStringArray] = None
+        self._original: Optional[PackedStringArray] = None
 
     @classmethod
-    def encode(
-        cls, strings: Sequence[bytes], lcps: Sequence[int]
+    def _from_packed(
+        cls,
+        lcps: np.ndarray,
+        suffixes: PackedStringArray,
+        original: Optional[PackedStringArray] = None,
     ) -> "LcpCompressedBlock":
+        blk = cls.__new__(cls)
+        blk.entries = None
+        blk._lcps = lcps
+        blk._suffixes = suffixes
+        blk._original = original
+        return blk
+
+    @classmethod
+    def encode(cls, strings: Strings, lcps: Lcps) -> "LcpCompressedBlock":
         """Front-code a sorted run with its LCP array.
 
         The first string always travels in full; LCP values are clipped
-        defensively (an LCP can never exceed either neighbour).
+        defensively (an LCP can never exceed either neighbour).  Packed
+        buckets are encoded by the batched :func:`repro.strings.packed.front_code`
+        kernel — one gather builds the whole suffix buffer.
         """
         if len(strings) != len(lcps):
             raise ValueError("strings and lcps must have equal length")
+        if isinstance(strings, PackedStringArray):
+            clipped, suffixes = front_code(strings, lcps)
+            # keep a reference to the encoded run: the simulated machine
+            # delivers messages zero-copy (exactly as StringBlock does), so
+            # the receiver charges wire bytes for the front-coded form but
+            # does not redo the byte-level reconstruction that
+            # :func:`front_decode` implements (and the tests pin)
+            return cls._from_packed(clipped, suffixes, original=strings)
         entries: List[Tuple[int, bytes]] = []
         prev_len = 0
         for i, (s, h) in enumerate(zip(strings, lcps)):
@@ -79,12 +138,24 @@ class LcpCompressedBlock(WireSized):
             prev_len = len(s)
         return cls(entries)
 
+    def __len__(self) -> int:
+        if self._suffixes is not None:
+            return len(self._suffixes)
+        return len(self.entries)
+
     @property
     def chars_sent(self) -> int:
         """Characters on the wire after front coding (suffixes only)."""
+        if self._suffixes is not None:
+            return self._suffixes.num_chars
         return sum(len(suffix) for _, suffix in self.entries)
 
     def decode(self) -> Tuple[List[bytes], List[int]]:
+        if self._suffixes is not None:
+            if self._original is not None:
+                return self._original.to_list(), self._lcps.tolist()
+            decoded = front_decode(self._lcps, self._suffixes)
+            return decoded.to_list(), self._lcps.tolist()
         strings: List[bytes] = []
         lcps: List[int] = []
         prev = b""
@@ -101,6 +172,13 @@ class LcpCompressedBlock(WireSized):
         return strings, lcps
 
     def wire_bytes(self) -> int:
+        if self._suffixes is not None:
+            return (
+                varint_size(len(self._suffixes))
+                + varint_total(self._lcps)
+                + varint_total(self._suffixes.lengths)
+                + self._suffixes.num_chars
+            )
         total = varint_size(len(self.entries))
         for h, suffix in self.entries:
             total += varint_size(h) + varint_size(len(suffix)) + len(suffix)
@@ -109,17 +187,27 @@ class LcpCompressedBlock(WireSized):
 
 def exchange_buckets(
     comm: Communicator,
-    buckets: Sequence[Tuple[Sequence[bytes], Sequence[int]]],
+    buckets: Sequence[Tuple[Strings, Lcps]],
     lcp_compression: bool = False,
     payloads: Optional[Sequence[Any]] = None,
+    ship_lcps: bool = True,
 ):
     """Deliver bucket ``j`` to PE ``j``; return the received runs.
 
-    ``buckets`` must contain exactly ``comm.size`` ``(strings, lcps)`` pairs.
-    The return value has one entry per *source* PE: ``(strings, lcps)``
-    tuples, or ``(strings, lcps, payload)`` when ``payloads`` supplies one
-    extra (wire-accounted) object per destination — PDMS uses this to ship
-    each bucket's origin offset alongside the prefixes.
+    ``buckets`` must contain exactly ``comm.size`` ``(strings, lcps)`` pairs
+    (either ``list[bytes]`` + ``list[int]`` or packed arrays + ``int64``
+    arrays).  The return value has one entry per *source* PE:
+    ``(strings, lcps)`` tuples, or ``(strings, lcps, payload)`` when
+    ``payloads`` supplies one extra (wire-accounted) object per destination —
+    PDMS uses this to ship each bucket's origin offset alongside the
+    prefixes.
+
+    Without ``lcp_compression`` the caller's LCP arrays ride along as varints
+    (``ship_lcps=True``, the default) instead of being silently dropped and
+    recomputed O(N) at the receiver.  Baselines that genuinely have no LCP
+    machinery on the wire (FKmerge, MS-simple) pass ``ship_lcps=False`` to
+    keep their message format — and their measured traffic — faithful to the
+    paper; their receivers then recompute the LCP arrays locally.
     """
     if len(buckets) != comm.size:
         raise ValueError(
@@ -135,7 +223,12 @@ def exchange_buckets(
                 for strings, lcps in buckets
             ]
         else:
-            blocks = [StringBlock(strings) for strings, _ in buckets]
+            blocks = [
+                StringBlock(
+                    strings, lcps if ship_lcps and lcps is not None else None
+                )
+                for strings, lcps in buckets
+            ]
         if payloads is None:
             received = comm.alltoall(blocks)
         else:

@@ -20,7 +20,11 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from itertools import accumulate
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..strings.packed import PackedStringArray, packed_bucket_boundaries
 
 __all__ = [
     "string_based_samples",
@@ -68,6 +72,16 @@ def character_based_samples(
         )
     if n == 0 or v <= 0:
         return []
+    if weights is None and isinstance(sorted_strings, PackedStringArray):
+        # packed fast path: the cumulative character mass is one cumsum and
+        # all v sample positions fall out of a single searchsorted
+        cumulative_np = np.cumsum(sorted_strings.lengths)
+        total = int(cumulative_np[-1])
+        if total <= 0:
+            return string_based_samples(sorted_strings, v)
+        targets = (np.arange(1, v + 1, dtype=np.int64) * total) // (v + 1)
+        idx = np.minimum(n - 1, np.searchsorted(cumulative_np, targets, side="right"))
+        return [sorted_strings[int(i)] for i in idx]
     if weights is None:
         weights = [len(s) for s in sorted_strings]
     total = sum(weights)
@@ -102,7 +116,12 @@ def bucket_boundaries(
     splitter go to the *lower* bucket, which is what makes exact duplicates
     land on a single PE.  The return value has ``len(splitters) + 2``
     entries, starting at 0 and ending at ``len(sorted_strings)``.
+
+    Packed inputs dispatch to the ``np.searchsorted`` kernel of
+    :mod:`repro.strings.packed`; the boundaries are identical.
     """
+    if isinstance(sorted_strings, PackedStringArray):
+        return packed_bucket_boundaries(sorted_strings, splitters)
     for i in range(1, len(splitters)):
         if splitters[i - 1] > splitters[i]:
             raise ValueError("splitters must be sorted")
@@ -123,6 +142,10 @@ def split_into_buckets(
     The LCP values inside a bucket stay valid because the bucket is a
     contiguous run; only the first entry is reset to 0 (its predecessor goes
     to a different PE).
+
+    With a packed input the buckets are **zero-copy views** of the local
+    array (shared character buffer, narrowed offsets) paired with ``int64``
+    LCP slices — no string data is moved until the exchange serialises it.
     """
     if len(sorted_strings) != len(lcps):
         raise ValueError(
@@ -130,6 +153,16 @@ def split_into_buckets(
             "must have equal length"
         )
     bounds = bucket_boundaries(sorted_strings, splitters)
+    if isinstance(sorted_strings, PackedStringArray):
+        lcps_np = np.asarray(lcps, dtype=np.int64)
+        packed_buckets: List[Tuple[PackedStringArray, np.ndarray]] = []
+        for j in range(len(bounds) - 1):
+            lo, hi = bounds[j], bounds[j + 1]
+            bucket_lcps = lcps_np[lo:hi].copy()
+            if bucket_lcps.size:
+                bucket_lcps[0] = 0
+            packed_buckets.append((sorted_strings[lo:hi], bucket_lcps))
+        return packed_buckets
     buckets: List[Tuple[List[bytes], List[int]]] = []
     for j in range(len(bounds) - 1):
         lo, hi = bounds[j], bounds[j + 1]

@@ -170,9 +170,11 @@ class ThreadComm(Communicator):
         if self.rank == root:
             size = wire_size(value) if nbytes is None else nbytes
             # account a binomial-tree broadcast: p-1 copies travel in total,
-            # staged over log p rounds; attribute the copies to tree edges
+            # staged over log p rounds; attribute the copies to tree edges,
+            # all labelled with the root's phase (reading the edge source's
+            # current phase would race with that rank's progress)
             for src, dst in _binomial_tree_edges(root, self.size):
-                self._state.meter.record_send(src, dst, size)
+                self._state.meter.record_send(src, dst, size, phase=self._phase)
             self._state.meter.record_collective("bcast", size, self.size, self._phase)
         return value
 

@@ -128,11 +128,20 @@ class TrafficMeter:
         return self._phases.get(rank, "unlabelled")
 
     # ------------------------------------------------------------------ recording
-    def record_send(self, src: int, dst: int, nbytes: int) -> None:
+    def record_send(
+        self, src: int, dst: int, nbytes: int, phase: Optional[str] = None
+    ) -> None:
         """Record ``nbytes`` travelling from ``src`` to ``dst``.
 
         Messages a PE "sends to itself" inside a collective are free, exactly
         like the paper's accounting of communication volume.
+
+        ``phase`` pins the phase label explicitly; without it the *current*
+        phase of ``src`` is used, which is only deterministic when the
+        recording thread is ``src`` itself.  Collectives that account edges
+        on behalf of other ranks (e.g. the broadcast tree) must pass the
+        initiating rank's phase, otherwise attribution races with the other
+        ranks' progress.
         """
         if src == dst:
             return
@@ -140,7 +149,9 @@ class TrafficMeter:
             self._sent[src] += nbytes
             self._received[dst] += nbytes
             self._messages[src] += 1
-            self._phase_bytes[self._phases.get(src, "unlabelled")] += nbytes
+            if phase is None:
+                phase = self._phases.get(src, "unlabelled")
+            self._phase_bytes[phase] += nbytes
 
     def record_local_work(self, rank: int, chars: int, items: int = 0) -> None:
         with self._lock:

@@ -15,7 +15,9 @@ which the partitioning code and the benchmark harness need repeatedly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .packed import PackedStringArray, packed_sort
 
 __all__ = [
     "StringSet",
@@ -87,10 +89,19 @@ class StringSet:
     strings: List[bytes]
 
     def __post_init__(self) -> None:
-        self.strings = validate_strings(self.strings)
+        packed: Optional[PackedStringArray] = None
+        if isinstance(self.strings, PackedStringArray):
+            # packed boundary: adopt the buffer for the vectorized paths and
+            # materialise the list view once for the list-level APIs
+            packed = self.strings
+            self.strings = packed.to_list()
+        else:
+            self.strings = validate_strings(self.strings)
         self._num_chars: int | None = None
         self._max_len: int | None = None
         self._alphabet: int | None = None
+        self._packed: Optional[PackedStringArray] = packed
+        self._sorted_packed: Optional[PackedStringArray] = None
 
     # -- basic container protocol ------------------------------------------------
     def __len__(self) -> int:
@@ -126,14 +137,20 @@ class StringSet:
     def num_chars(self) -> int:
         """``N`` — total number of characters."""
         if self._num_chars is None:
-            self._num_chars = concat_size(self.strings)
+            if self._packed is not None:
+                self._num_chars = self._packed.num_chars
+            else:
+                self._num_chars = concat_size(self.strings)
         return self._num_chars
 
     @property
     def max_len(self) -> int:
         """``l_hat`` — length of the longest string."""
         if self._max_len is None:
-            self._max_len = max_length(self.strings)
+            if self._packed is not None:
+                self._max_len = self._packed.max_len
+            else:
+                self._max_len = max_length(self.strings)
         return self._max_len
 
     @property
@@ -149,6 +166,25 @@ class StringSet:
         if not self.strings:
             return 0.0
         return self.num_chars / len(self.strings)
+
+    # -- packed representation ------------------------------------------------------
+    def packed(self) -> PackedStringArray:
+        """The packed (contiguous buffer + offsets) view of this set, cached."""
+        if self._packed is None:
+            self._packed = PackedStringArray.from_strings(self.strings)
+        return self._packed
+
+    def sorted_packed(self) -> PackedStringArray:
+        """Lexicographically sorted packed copy, computed once and cached.
+
+        :func:`repro.strings.lcp.merge_lcp_statistics` and
+        :func:`repro.strings.lcp.distinguishing_prefix_size` use this hook so
+        that the bench harness can ask for input statistics repeatedly
+        without re-sorting the full corpus on every call.
+        """
+        if self._sorted_packed is None:
+            self._sorted_packed = packed_sort(self.packed())
+        return self._sorted_packed
 
     # -- operations ----------------------------------------------------------------
     def sorted(self) -> "StringSet":

@@ -1,0 +1,276 @@
+"""Property tests pinning the packed (vectorized) kernels to the scalar code.
+
+Every vectorized kernel of :mod:`repro.strings.packed` must be bit-exact
+with its scalar counterpart — the packed hot path replaces the original
+implementation wholesale, so any divergence silently corrupts results or
+wire accounting.  Hypothesis drives adversarial inputs: empty strings,
+exact duplicates, one-byte alphabets, and strings sharing prefixes longer
+than 255 characters (so LCP values need multi-byte varints).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.exchange import LcpCompressedBlock, StringBlock
+from repro.dist.partition import bucket_boundaries, split_into_buckets
+from repro.mpi.serialization import varint_size, varint_sizes, varint_total, wire_size
+from repro.strings.lcp import lcp, lcp_array, lcp_compress_lengths
+from repro.strings.packed import (
+    PackedStringArray,
+    front_code,
+    front_decode,
+    packed_argsort,
+    packed_bucket_boundaries,
+    packed_lcp_array,
+    packed_sort,
+    truncate,
+    use_packed,
+)
+
+# ---------------------------------------------------------------------------
+# input strategies
+# ---------------------------------------------------------------------------
+
+# small alphabets maximise duplicates and long shared prefixes
+_alphabets = st.sampled_from([b"a", b"ab", b"abc", bytes(range(1, 256))])
+
+
+@st.composite
+def string_lists(draw, min_size=0, max_size=40):
+    alphabet = draw(_alphabets)
+    base = draw(
+        st.lists(
+            st.binary(min_size=0, max_size=24).map(
+                lambda b: bytes(alphabet[x % len(alphabet)] for x in b)
+            ),
+            min_size=min_size,
+            max_size=max_size,
+        )
+    )
+    if draw(st.booleans()):
+        # adversarial tail: empties, duplicates, and a >255-char common prefix
+        long = bytes(alphabet[0:1]) * 300
+        base += [b"", b"", long, long + b"x", long]
+    return base
+
+
+def scalar_lcp_array(strings):
+    """Reference implementation: the original per-pair scalar loop."""
+    out = [0] * len(strings)
+    for i in range(1, len(strings)):
+        out[i] = lcp(strings[i - 1], strings[i])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# round trip and container protocol
+# ---------------------------------------------------------------------------
+
+class TestRoundTrip:
+    @given(string_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_pack_unpack_identity(self, xs):
+        arr = PackedStringArray.from_strings(xs)
+        assert arr.to_list() == xs
+        assert list(arr) == xs
+        assert [arr[i] for i in range(len(arr))] == xs
+        assert len(arr) == len(xs)
+        assert arr.num_chars == sum(len(s) for s in xs)
+        assert arr.max_len == max((len(s) for s in xs), default=0)
+        assert arr.lengths.tolist() == [len(s) for s in xs]
+
+    @given(string_lists(min_size=2), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_views_are_zero_copy_windows(self, xs, data):
+        arr = PackedStringArray.from_strings(xs)
+        lo = data.draw(st.integers(0, len(xs)))
+        hi = data.draw(st.integers(lo, len(xs)))
+        view = arr[lo:hi]
+        assert view.buffer is arr.buffer  # shared character data
+        assert view.to_list() == xs[lo:hi]
+        assert packed_lcp_array(view).tolist() == scalar_lcp_array(xs[lo:hi])
+
+    @given(string_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_matches_builtin(self, xs):
+        arr = PackedStringArray.from_strings(xs)
+        assert packed_sort(arr).to_list() == sorted(xs)
+        order = packed_argsort(arr)
+        assert [xs[i] for i in order] == sorted(xs)
+        assert packed_sort(arr).is_sorted()
+
+    @given(string_lists(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncate_matches_slicing(self, xs, data):
+        lims = [data.draw(st.integers(0, 30)) for _ in xs]
+        arr = PackedStringArray.from_strings(xs)
+        assert truncate(arr, lims).to_list() == [s[:l] for s, l in zip(xs, lims)]
+
+
+# ---------------------------------------------------------------------------
+# vectorized vs scalar LCP
+# ---------------------------------------------------------------------------
+
+class TestLcpEquivalence:
+    @given(string_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_packed_lcp_equals_scalar(self, xs):
+        arr = PackedStringArray.from_strings(xs)
+        assert packed_lcp_array(arr).tolist() == scalar_lcp_array(xs)
+
+    @given(string_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_big_endian_fallback_equivalent(self, xs):
+        import repro.strings.packed as packed_mod
+
+        arr = PackedStringArray.from_strings(xs)
+        fast = packed_lcp_array(arr)
+        original = packed_mod._LITTLE_ENDIAN
+        packed_mod._LITTLE_ENDIAN = False
+        try:
+            slow = packed_lcp_array(arr)
+        finally:
+            packed_mod._LITTLE_ENDIAN = original
+        assert fast.tolist() == slow.tolist() == scalar_lcp_array(xs)
+
+    @given(string_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_lcp_array_dispatch_is_equivalent(self, xs):
+        with use_packed(True):
+            fast = lcp_array(xs * 3)  # ×3 pushes past the dispatch threshold
+        with use_packed(False):
+            slow = lcp_array(xs * 3)
+        assert fast == slow
+
+    @given(string_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_lcp_compress_lengths_packed(self, xs):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        arr = PackedStringArray.from_strings(srt)
+        assert lcp_compress_lengths(arr, h) == lcp_compress_lengths(srt, h)
+
+
+# ---------------------------------------------------------------------------
+# front coding: encode / decode / wire accounting
+# ---------------------------------------------------------------------------
+
+class TestFrontCoding:
+    @given(string_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_encode_matches_scalar_entries(self, xs):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        scalar_blk = LcpCompressedBlock.encode(srt, h)
+        hc, suffixes = front_code(PackedStringArray.from_strings(srt), h)
+        assert [(int(a), b) for a, b in zip(hc, suffixes)] == scalar_blk.entries
+
+    @given(string_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_decode_round_trips(self, xs):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        hc, suffixes = front_code(PackedStringArray.from_strings(srt), h)
+        assert front_decode(hc, suffixes).to_list() == srt
+
+    @given(string_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_block_wire_bytes_identical(self, xs):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        arr = PackedStringArray.from_strings(srt)
+        assert (
+            LcpCompressedBlock.encode(arr, h).wire_bytes()
+            == LcpCompressedBlock.encode(srt, h).wire_bytes()
+        )
+        assert StringBlock(arr).wire_bytes() == StringBlock(srt).wire_bytes()
+        assert StringBlock(arr, h).wire_bytes() == StringBlock(srt, h).wire_bytes()
+        assert wire_size(arr) == StringBlock(srt).wire_bytes()
+
+    @given(string_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_block_decode_identical(self, xs):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        arr = PackedStringArray.from_strings(srt)
+        assert (
+            LcpCompressedBlock.encode(arr, h).decode()
+            == LcpCompressedBlock.encode(srt, h).decode()
+        )
+        assert StringBlock(arr).decode() == StringBlock(srt).decode()
+        assert StringBlock(arr, h).decode() == StringBlock(srt, h).decode()
+
+    def test_corrupt_packed_block_detected(self):
+        suffixes = PackedStringArray.from_strings([b"ab", b"c"])
+        with pytest.raises(ValueError):
+            front_decode(np.array([0, 5]), suffixes)
+        with pytest.raises(ValueError):
+            front_decode(np.array([1, 0]), suffixes)
+
+
+# ---------------------------------------------------------------------------
+# varint accounting
+# ---------------------------------------------------------------------------
+
+class TestVarintVectorized:
+    @given(st.lists(st.integers(-(2**40), 2**60), max_size=50))
+    @settings(max_examples=120, deadline=None)
+    def test_varint_sizes_match_scalar(self, values):
+        assert varint_sizes(values).tolist() == [varint_size(v) for v in values]
+        assert varint_total(values) == sum(varint_size(v) for v in values)
+
+    def test_boundaries(self):
+        edges = [0, 1, 127, 128, 2**14 - 1, 2**14, 2**21, 2**63 - 1, -1, -2**62]
+        assert varint_sizes(edges).tolist() == [varint_size(v) for v in edges]
+
+
+# ---------------------------------------------------------------------------
+# bucket partition
+# ---------------------------------------------------------------------------
+
+class TestPackedPartition:
+    @given(string_lists(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_boundaries_match_bisect(self, xs, data):
+        srt = sorted(xs)
+        k = data.draw(st.integers(0, 4))
+        pool = srt + [b"", b"m", b"zzz"]
+        splitters = sorted(data.draw(st.lists(st.sampled_from(pool), min_size=k, max_size=k)))
+        arr = PackedStringArray.from_strings(srt)
+        assert packed_bucket_boundaries(arr, splitters) == bucket_boundaries(srt, splitters)
+        assert bucket_boundaries(arr, splitters) == bucket_boundaries(srt, splitters)
+
+    def test_nul_bytes_fall_back_correctly(self):
+        srt = sorted([b"\x00", b"\x00a", b"a\x00b", b"a", b"ab", b"b"])
+        splitters = [b"\x00a", b"a\x00b"]
+        arr = PackedStringArray.from_strings(srt)
+        assert packed_bucket_boundaries(arr, splitters) == bucket_boundaries(srt, splitters)
+
+    def test_stringset_caches_sorted_packed(self):
+        from repro.strings.lcp import merge_lcp_statistics
+        from repro.strings.stringset import StringSet
+
+        ss = StringSet([b"banana", b"band", b"apple", b"apple", b"", b"cherry"])
+        first = ss.sorted_packed()
+        assert first.to_list() == sorted(ss.strings)
+        assert ss.sorted_packed() is first  # cached, no re-sort
+        reference = merge_lcp_statistics(list(ss.strings))
+        assert merge_lcp_statistics(ss) == reference
+        assert merge_lcp_statistics(ss) == reference  # served from the cache
+
+    @given(string_lists(min_size=1), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_split_into_buckets_packed_equals_list(self, xs, data):
+        srt = sorted(xs)
+        h = scalar_lcp_array(srt)
+        k = data.draw(st.integers(0, 3))
+        splitters = sorted(data.draw(st.lists(st.sampled_from(srt), min_size=k, max_size=k)))
+        list_buckets = split_into_buckets(srt, h, splitters)
+        packed_buckets = split_into_buckets(
+            PackedStringArray.from_strings(srt), np.asarray(h), splitters
+        )
+        assert len(list_buckets) == len(packed_buckets)
+        for (ls, lh), (ps, ph) in zip(list_buckets, packed_buckets):
+            assert ps.to_list() == ls
+            assert ph.tolist() == lh

@@ -117,3 +117,26 @@ class TestExchangeBuckets:
 
         with pytest.raises(SpmdError):
             run_spmd(2, prog, args_per_rank=[([b"a"],), ([b"b"],)])
+
+    def test_uncompressed_exchange_ships_caller_lcps(self):
+        """With ship_lcps (default) the caller's LCP arrays ride along as
+        varints instead of being dropped and recomputed at the receiver;
+        opting out restores the bare paper-faithful message format."""
+        strings = dn_instance(600, 0.8, length=40, seed=9)
+        blocks = _blocks(strings, 3)
+
+        def prog(comm, local, ship):
+            local_sorted, lcps = sort_strings_with_lcp(local)
+            splitters = determine_splitters(comm, local_sorted)
+            buckets = split_into_buckets(local_sorted, lcps, splitters)
+            received = exchange_buckets(
+                comm, buckets, lcp_compression=False, ship_lcps=ship
+            )
+            # shipped or recomputed, the LCP arrays must be correct
+            for run, run_lcps in received:
+                assert run_lcps[1:] == lcp_array(run)[1:]
+
+        _, shipped = run_spmd(3, prog, args_per_rank=[(b, True) for b in blocks])
+        _, bare = run_spmd(3, prog, args_per_rank=[(b, False) for b in blocks])
+        # the LCP varints cost wire bytes — they are not a free lunch
+        assert shipped.total_bytes_sent > bare.total_bytes_sent
