@@ -52,6 +52,7 @@ class CellResult:
     extra: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
+        """The cell as a flat JSON-ready dict (dataclass fields + extra)."""
         return asdict(self)
 
 
@@ -64,9 +65,11 @@ class ExperimentResult:
     cells: List[CellResult] = field(default_factory=list)
 
     def add(self, cell: CellResult) -> None:
+        """Append one measured cell to the experiment."""
         self.cells.append(cell)
 
     def filter(self, **criteria) -> List[CellResult]:
+        """Cells whose attributes equal every given keyword (e.g. ``algorithm``)."""
         out = []
         for c in self.cells:
             if all(getattr(c, k) == v for k, v in criteria.items()):
@@ -74,6 +77,7 @@ class ExperimentResult:
         return out
 
     def algorithms(self) -> List[str]:
+        """Algorithm names in first-seen order (the row order of the tables)."""
         seen: List[str] = []
         for c in self.cells:
             if c.algorithm not in seen:
@@ -81,9 +85,11 @@ class ExperimentResult:
         return seen
 
     def pe_counts(self) -> List[int]:
+        """Sorted distinct PE counts appearing in the cells."""
         return sorted({c.num_pes for c in self.cells})
 
     def input_names(self) -> List[str]:
+        """Input names in first-seen order (one rendered table per input)."""
         seen: List[str] = []
         for c in self.cells:
             if c.input_name not in seen:
@@ -92,6 +98,7 @@ class ExperimentResult:
 
     # -- rendering -------------------------------------------------------------------
     def to_json(self) -> str:
+        """The full experiment (name, description, cells) as indented JSON."""
         return json.dumps(
             {
                 "name": self.name,
@@ -211,6 +218,11 @@ class ExperimentRunner:
             extra=dict(result.extra),
         )
         cell.extra["phase_bytes"] = dict(report.phase_bytes)
+        overlap = report.overlap_fraction("exchange")
+        if overlap > 0.0:
+            # split-phase exchange runs (REPRO_ASYNC_EXCHANGE=1) record how
+            # much of the delivery window was hidden behind merge preparation
+            cell.extra["overlap_fraction"] = round(overlap, 4)
         return cell
 
     def sweep(

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from .bench import experiments as canned
 from .bench.harness import ExperimentRunner
 from .dist.api import ALGORITHMS, dsort
+from .dist.exchange import async_exchange_enabled, use_async_exchange
 from .net.cost_model import DEFAULT_MACHINE
 from .strings import generators
 from .strings.lcp import dn_ratio
@@ -69,6 +70,7 @@ _EXPERIMENTS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (``sort`` / ``experiment``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Communication-Efficient String Sorting' (IPDPS 2020)",
@@ -87,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument(
         "--sampling", choices=("string", "character"), default="string",
         help="regular sampling scheme for the splitter determination",
+    )
+    p_sort.add_argument(
+        "--async-exchange", action="store_true",
+        help="run the bucket exchange split-phase (overlaps merge preparation "
+        "with delivery; outputs and wire bytes are bit-identical)",
     )
 
     p_exp = sub.add_parser("experiment", help="run a canned figure reproduction")
@@ -118,14 +125,17 @@ def _load_or_generate(args) -> List[bytes]:
 
 def _cmd_sort(args) -> int:
     data = _load_or_generate(args)
-    result = dsort(
-        data,
-        algorithm=args.algorithm,
-        num_pes=args.num_pes,
-        check=args.check,
-        seed=args.seed,
-        sampling=args.sampling,
-    )
+    # the flag only ever opts *in*: without it the REPRO_ASYNC_EXCHANGE
+    # environment setting (or the default, off) stays in charge
+    with use_async_exchange(args.async_exchange or async_exchange_enabled()):
+        result = dsort(
+            data,
+            algorithm=args.algorithm,
+            num_pes=args.num_pes,
+            check=args.check,
+            seed=args.seed,
+            sampling=args.sampling,
+        )
     report = result.report
     print(f"algorithm          : {args.algorithm}")
     print(f"simulated PEs      : {args.num_pes}")
@@ -135,6 +145,8 @@ def _cmd_sort(args) -> int:
     print(f"bytes per string   : {result.bytes_per_string():.2f}")
     print(f"modelled time      : {result.modeled_time(DEFAULT_MACHINE):.3e} s")
     print(f"bytes by phase     : {dict(report.phase_bytes)}")
+    if args.async_exchange or async_exchange_enabled():
+        print(f"exchange overlap   : {result.overlap_fraction():.2f} of the delivery window")
     if args.check:
         print("output check       : passed")
     if args.output:

@@ -31,9 +31,21 @@ from .api import (
     pdms_sort,
 )
 from .dn_estimator import DnEstimate, estimate_dn_ratio, recommend_algorithm
+from .exchange import (
+    async_exchange_enabled,
+    exchange_buckets,
+    exchange_buckets_async,
+    set_async_exchange,
+    use_async_exchange,
+)
 from .prefix_doubling import PrefixDoublingResult, approximate_dist_prefixes
 
 __all__ = [
+    "async_exchange_enabled",
+    "exchange_buckets",
+    "exchange_buckets_async",
+    "set_async_exchange",
+    "use_async_exchange",
     "ALGORITHMS",
     "DSortResult",
     "MSConfig",

@@ -48,7 +48,11 @@ from ..strings.packed import (
 )
 from ..strings.stringset import StringSet, validate_strings
 from .dn_estimator import estimate_dn_ratio, recommend_algorithm
-from .exchange import exchange_buckets
+from .exchange import (
+    async_exchange_enabled,
+    exchange_buckets,
+    exchange_buckets_async,
+)
 from .hquick import hquick_sort
 from .partition import split_into_buckets
 from .prefix_doubling import approximate_dist_prefixes
@@ -216,6 +220,25 @@ def _as_hot_path(local_sorted, lcps):
     return local_sorted, lcps
 
 
+def _exchange(comm: Communicator, buckets, **kwargs):
+    """Run the bucket exchange, split-phase when globally enabled.
+
+    With :func:`repro.dist.exchange.async_exchange_enabled` the split-phase
+    generator is consumed in arrival order — each run is decoded (and its
+    slot in the merge input prepared) while later buckets are still in
+    flight, which is where the recorded overlap comes from.  The returned
+    list is indexed by source PE either way, so the downstream merge — and
+    therefore the sorted output, LCP arrays and traffic accounting — is
+    bit-identical across both paths.
+    """
+    if not async_exchange_enabled():
+        return exchange_buckets(comm, buckets, **kwargs)
+    received: List[Any] = [None] * comm.size
+    for item in exchange_buckets_async(comm, buckets, **kwargs):
+        received[item[0]] = tuple(item[1:])
+    return received
+
+
 def ms_sort(
     comm: Communicator, strings: Sequence[bytes], config: Optional[MSConfig] = None
 ) -> Tuple[List[bytes], List[int]]:
@@ -231,7 +254,7 @@ def ms_sort(
         oversampling=config.oversampling,
     )
     buckets = split_into_buckets(local_view, lcps_view, splitters)
-    received = exchange_buckets(
+    received = _exchange(
         comm,
         buckets,
         lcp_compression=config.lcp_compression,
@@ -275,7 +298,7 @@ def fkmerge_sort(
     )
     buckets = split_into_buckets(local_view, lcps_view, splitters)
     # the baseline has no LCP machinery on the wire: strings travel verbatim
-    received = exchange_buckets(
+    received = _exchange(
         comm, buckets, lcp_compression=False, ship_lcps=False
     )
     with comm.phase("merge"):
@@ -335,7 +358,7 @@ def pdms_sort(
     for bucket_strings, _ in buckets:
         starts.append(start)
         start += len(bucket_strings)
-    received = exchange_buckets(
+    received = _exchange(
         comm, buckets, lcp_compression=True, payloads=starts
     )
 
@@ -488,6 +511,17 @@ class DSortResult:
     def modeled_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
         """Modelled running time (local work bottleneck + communication)."""
         return self.report.modeled_total_time(machine)
+
+    def overlap_fraction(self) -> float:
+        """Communication/computation overlap of the string exchange.
+
+        The fraction of the split-phase exchange window the PEs spent
+        decoding and preparing the merge while deliveries were still in
+        flight.  0.0 for the bulk-synchronous path (the default; enable the
+        split-phase exchange with ``REPRO_ASYNC_EXCHANGE=1`` or
+        :func:`repro.dist.exchange.use_async_exchange`).
+        """
+        return self.report.overlap_fraction("exchange")
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,7 @@ class DnEstimate:
 
     @property
     def recommends_prefix_doubling(self) -> bool:
+        """Whether the estimate favours PDMS (D/N below the threshold)."""
         return self.dn_ratio < DN_THRESHOLD
 
 

@@ -57,6 +57,7 @@ class FingerprintBlock(WireSized):
         self.bits = bits
 
     def wire_bytes(self) -> int:
+        """Uncompressed fingerprint cost: a varint count plus ``bits`` each."""
         return varint_size(len(self.values)) + len(self.values) * ((self.bits + 7) // 8)
 
     def __len__(self) -> int:
@@ -73,6 +74,7 @@ class BitVector(WireSized):
         self.flags = [bool(f) for f in flags]
 
     def wire_bytes(self) -> int:
+        """One bit per verdict flag, plus a varint count."""
         return varint_size(len(self.flags)) + (len(self.flags) + 7) // 8
 
     def __len__(self) -> int:

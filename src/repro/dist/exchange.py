@@ -26,16 +26,20 @@ way — the benchmark suite pins this across all six ``dsort`` algorithms.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple, Union
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..mpi.comm import Communicator
+from ..mpi.comm import Communicator, waitany
 from ..mpi.serialization import (
     WireSized,
     packed_wire_bytes,
     varint_size,
     varint_total,
+    wire_size,
 )
 from ..strings.lcp import lcp_array
 from ..strings.packed import (
@@ -45,7 +49,57 @@ from ..strings.packed import (
     packed_lcp_array,
 )
 
-__all__ = ["StringBlock", "LcpCompressedBlock", "exchange_buckets"]
+__all__ = [
+    "StringBlock",
+    "LcpCompressedBlock",
+    "exchange_buckets",
+    "exchange_buckets_async",
+    "async_exchange_enabled",
+    "set_async_exchange",
+    "use_async_exchange",
+]
+
+# tag base for the split-phase exchange, outside the ranges hquick claims
+# (100/200/300 + dimension), so mixed SPMD programs keep the engine's
+# tag-ordering diagnostics meaningful
+_TAG_ASYNC_EXCHANGE = 450
+
+_ASYNC_ENABLED = os.environ.get("REPRO_ASYNC_EXCHANGE", "0").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def async_exchange_enabled() -> bool:
+    """Whether ``dsort``'s rank programs use the split-phase exchange.
+
+    Defaults to the ``REPRO_ASYNC_EXCHANGE`` environment variable (off unless
+    set to ``1``/``true``/``yes``/``on``).  The toggle changes *when* work
+    happens, never *what* is computed: outputs, LCP arrays and wire-byte
+    accounting are bit-identical either way (pinned by
+    ``tests/test_async_exchange.py`` across all six algorithms).
+    """
+    return _ASYNC_ENABLED
+
+
+def set_async_exchange(flag: bool) -> bool:
+    """Enable/disable the split-phase exchange; returns the previous setting."""
+    global _ASYNC_ENABLED
+    previous = _ASYNC_ENABLED
+    _ASYNC_ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def use_async_exchange(flag: bool):
+    """Context manager form of :func:`set_async_exchange` (for tests/benchmarks)."""
+    previous = set_async_exchange(flag)
+    try:
+        yield
+    finally:
+        set_async_exchange(previous)
 
 Strings = Union[Sequence[bytes], PackedStringArray]
 Lcps = Union[Sequence[int], np.ndarray, None]
@@ -78,6 +132,7 @@ class StringBlock(WireSized):
         return strings, lcps
 
     def wire_bytes(self) -> int:
+        """Varint count + per-string (varint length, payload) [+ varint LCPs]."""
         if self._packed is not None:
             return packed_wire_bytes(self._packed, self.lcps)
         total = varint_size(len(self.strings))
@@ -151,6 +206,7 @@ class LcpCompressedBlock(WireSized):
         return sum(len(suffix) for _, suffix in self.entries)
 
     def decode(self) -> Tuple[List[bytes], List[int]]:
+        """Reconstruct ``(strings, lcps)`` from the front-coded entries."""
         if self._suffixes is not None:
             if self._original is not None:
                 return self._original.to_list(), self._lcps.tolist()
@@ -172,6 +228,7 @@ class LcpCompressedBlock(WireSized):
         return strings, lcps
 
     def wire_bytes(self) -> int:
+        """Varint count + per-string (varint LCP, varint suffix length, suffix)."""
         if self._suffixes is not None:
             return (
                 varint_size(len(self._suffixes))
@@ -183,6 +240,35 @@ class LcpCompressedBlock(WireSized):
         for h, suffix in self.entries:
             total += varint_size(h) + varint_size(len(suffix)) + len(suffix)
         return total
+
+
+def _validate_buckets(
+    comm: Communicator,
+    buckets: Sequence[Tuple[Strings, Lcps]],
+    payloads: Optional[Sequence[Any]],
+) -> None:
+    if len(buckets) != comm.size:
+        raise ValueError(
+            f"need one bucket per PE ({comm.size}), got {len(buckets)}"
+        )
+    if payloads is not None and len(payloads) != comm.size:
+        raise ValueError("payloads must have one entry per PE")
+
+
+def _encode_blocks(
+    buckets: Sequence[Tuple[Strings, Lcps]],
+    lcp_compression: bool,
+    ship_lcps: bool,
+) -> List[WireSized]:
+    """Encode per-destination buckets into wire blocks (shared by both paths)."""
+    if lcp_compression:
+        return [
+            LcpCompressedBlock.encode(strings, lcps) for strings, lcps in buckets
+        ]
+    return [
+        StringBlock(strings, lcps if ship_lcps and lcps is not None else None)
+        for strings, lcps in buckets
+    ]
 
 
 def exchange_buckets(
@@ -209,26 +295,10 @@ def exchange_buckets(
     keep their message format — and their measured traffic — faithful to the
     paper; their receivers then recompute the LCP arrays locally.
     """
-    if len(buckets) != comm.size:
-        raise ValueError(
-            f"need one bucket per PE ({comm.size}), got {len(buckets)}"
-        )
-    if payloads is not None and len(payloads) != comm.size:
-        raise ValueError("payloads must have one entry per PE")
+    _validate_buckets(comm, buckets, payloads)
 
     with comm.phase("exchange"):
-        if lcp_compression:
-            blocks = [
-                LcpCompressedBlock.encode(strings, lcps)
-                for strings, lcps in buckets
-            ]
-        else:
-            blocks = [
-                StringBlock(
-                    strings, lcps if ship_lcps and lcps is not None else None
-                )
-                for strings, lcps in buckets
-            ]
+        blocks = _encode_blocks(buckets, lcp_compression, ship_lcps)
         if payloads is None:
             received = comm.alltoall(blocks)
         else:
@@ -250,3 +320,105 @@ def exchange_buckets(
             )
         comm.record_local_work(decoded_chars, sum(len(r[0]) for r in out))
     return out
+
+
+def exchange_buckets_async(
+    comm: Communicator,
+    buckets: Sequence[Tuple[Strings, Lcps]],
+    lcp_compression: bool = False,
+    payloads: Optional[Sequence[Any]] = None,
+    ship_lcps: bool = True,
+) -> Iterator[Tuple]:
+    """Split-phase twin of :func:`exchange_buckets`: yield runs as they land.
+
+    Posts one non-blocking send per destination (the packed bucket views of
+    PR 2 make these zero-copy) and one non-blocking receive per source *up
+    front*, then yields ``(src, strings, lcps)`` — or ``(src, strings, lcps,
+    payload)`` with ``payloads`` — in **arrival order** as deliveries
+    complete.  Each run is decoded (front-decoding, LCP reconstruction) the
+    moment it lands, and whatever the caller does between ``yield``s — e.g.
+    preparing the LCP loser-tree merge — happens while the remaining
+    deliveries are still in flight.  There is no serialisation barrier in
+    the middle of the exchange; the epilogue synchronises only to agree on
+    the collective's bottleneck volume for the cost model.
+
+    Accounting contract (pinned by ``tests/test_async_exchange.py``): wire
+    bytes, phase attribution and decoded local work are **identical** to the
+    blocking path — encoding, wire sizing and decoding are the very same
+    code.  Additionally the meter records the *overlap*: the wall-clock time
+    this rank spent decoding/merging while at least one receive was
+    outstanding, surfaced as ``TrafficReport.overlap_fraction("exchange")``
+    and credited against the bandwidth term by
+    :meth:`repro.net.cost_model.MachineModel.overlap_credit`.
+
+    The generator must be exhausted (all ranks reach the epilogue at the
+    same SPMD program point); abandoning it mid-exchange deadlocks the run
+    like any skipped collective would.
+    """
+    _validate_buckets(comm, buckets, payloads)
+
+    with comm.phase("exchange"):
+        window_start = time.perf_counter()
+        blocks = _encode_blocks(buckets, lcp_compression, ship_lcps)
+        if payloads is None:
+            messages: List[Any] = list(blocks)
+        else:
+            messages = [(blk, pay) for blk, pay in zip(blocks, payloads)]
+        sizes = [wire_size(m) for m in messages]
+
+        send_requests = [
+            comm.isend(m, dst, tag=_TAG_ASYNC_EXCHANGE, nbytes=sizes[dst])
+            for dst, m in enumerate(messages)
+        ]
+        recv_requests = [
+            comm.irecv(src, tag=_TAG_ASYNC_EXCHANGE) for src in range(comm.size)
+        ]
+
+        pending = list(range(comm.size))
+        decoded_chars = 0
+        decoded_items = 0
+        overlapped = 0.0
+
+        def in_flight() -> bool:
+            # a delivery is in flight only while its message has not arrived;
+            # an arrived-but-unconsumed request must not inflate the overlap
+            return any(not recv_requests[s].test() for s in pending)
+
+        while pending:
+            src = pending.pop(waitany([recv_requests[s] for s in pending]))
+            message = recv_requests[src].wait()  # completed; returns payload
+            if payloads is None:
+                block, payload = message, None
+            else:
+                block, payload = message
+            # a compute segment counts as overlapped only when a delivery was
+            # in flight both when it started *and* when it ended — a message
+            # landing mid-segment thus voids the whole segment, biasing the
+            # measurement (and hence the cost-model credit) low, never high
+            overlapping = bool(pending) and in_flight()
+            decode_start = time.perf_counter()
+            strings, lcps = block.decode()
+            decoded_chars += sum(len(s) for s in strings)
+            decoded_items += len(strings)
+            yield_at = time.perf_counter()
+            if overlapping and in_flight():
+                overlapped += yield_at - decode_start
+            overlapping = bool(pending) and in_flight()
+            yield (
+                (src, strings, lcps)
+                if payloads is None
+                else (src, strings, lcps, payload)
+            )
+            # time the caller spent on the run we just handed over, with
+            # later deliveries still in flight
+            if overlapping and in_flight():
+                overlapped += time.perf_counter() - yield_at
+
+        comm.waitall(send_requests)
+        comm.record_local_work(decoded_chars, decoded_items)
+
+        window = time.perf_counter() - window_start
+        fraction = overlapped / window if window > 0.0 else 0.0
+        comm.record_overlap(overlapped, window)
+        my_total = sum(sz for dst, sz in enumerate(sizes) if dst != comm.rank)
+        comm.record_exchange_collective(my_total, overlap_fraction=fraction)

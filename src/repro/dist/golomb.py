@@ -46,6 +46,7 @@ class _BitWriter:
         self._fill = 0
 
     def write_bit(self, bit: int) -> None:
+        """Append one bit."""
         self._cur = (self._cur << 1) | (bit & 1)
         self._fill += 1
         if self._fill == 8:
@@ -54,15 +55,18 @@ class _BitWriter:
             self._fill = 0
 
     def write_bits(self, value: int, width: int) -> None:
+        """Append ``value`` as ``width`` bits, MSB first."""
         for shift in range(width - 1, -1, -1):
             self.write_bit((value >> shift) & 1)
 
     def write_unary(self, q: int) -> None:
+        """Append ``q`` in unary: q one-bits then a zero terminator."""
         for _ in range(q):
             self.write_bit(1)
         self.write_bit(0)
 
     def getvalue(self) -> bytes:
+        """The written bits as bytes, zero-padded to a byte boundary."""
         if self._fill:
             return bytes(self._buf) + bytes([self._cur << (8 - self._fill)])
         return bytes(self._buf)
@@ -76,18 +80,21 @@ class _BitReader:
         self._pos = 0
 
     def read_bit(self) -> int:
+        """Consume and return the next bit."""
         byte = self._payload[self._pos >> 3]
         bit = (byte >> (7 - (self._pos & 7))) & 1
         self._pos += 1
         return bit
 
     def read_bits(self, width: int) -> int:
+        """Consume ``width`` bits as one MSB-first integer."""
         value = 0
         for _ in range(width):
             value = (value << 1) | self.read_bit()
         return value
 
     def read_unary(self) -> int:
+        """Consume a unary-coded value (count of one-bits before the zero)."""
         q = 0
         while self.read_bit():
             q += 1
@@ -165,9 +172,11 @@ class GolombCodedSet(WireSized):
         self.payload, self.m = encode_sorted(self.values, universe)
 
     def decode(self) -> List[int]:
+        """Recover the sorted values from the Golomb-coded gap stream."""
         return decode_sorted(self.payload, self.m, len(self.values))
 
     def wire_bytes(self) -> int:
+        """Coded payload plus the varint-framed parameter ``M`` and count."""
         return len(self.payload) + varint_size(self.m) + varint_size(len(self.values))
 
     def __len__(self) -> int:

@@ -1,12 +1,15 @@
 """Simulated MPI: communicator interface, wire-size accounting, SPMD engine."""
 
-from .comm import Communicator, ReduceOp
+from .comm import Communicator, ReduceOp, Request, waitall, waitany
 from .engine import ThreadComm, SpmdError, run_spmd
 from .serialization import wire_size, varint_size, WireSized
 
 __all__ = [
     "Communicator",
     "ReduceOp",
+    "Request",
+    "waitall",
+    "waitany",
     "ThreadComm",
     "SpmdError",
     "run_spmd",

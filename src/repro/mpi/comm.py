@@ -21,10 +21,59 @@ obtains the exact "bytes sent per string" numbers of Figures 4 and 5.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, List, Optional, Sequence
 
-__all__ = ["Communicator", "ReduceOp"]
+__all__ = ["Communicator", "ReduceOp", "Request", "waitall", "waitany"]
+
+
+class Request:
+    """Handle for a non-blocking operation (:meth:`Communicator.isend`/``irecv``).
+
+    Mirrors MPI's request objects: :meth:`test` polls for completion without
+    blocking, :meth:`wait` blocks until the operation finishes and returns the
+    received object (``None`` for sends).  Use :func:`waitall` / :func:`waitany`
+    to drive several outstanding requests, e.g. a split-phase exchange that
+    consumes buckets in arrival order.
+    """
+
+    def test(self) -> bool:
+        """Poll for completion; ``True`` once the operation has finished."""
+        raise NotImplementedError
+
+    def wait(self) -> Any:
+        """Block until completion; returns the payload (``None`` for sends)."""
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        """Whether the operation has already completed (never blocks)."""
+        return self.test()
+
+
+def waitall(requests: Sequence[Request]) -> List[Any]:
+    """Wait for every request; returns their payloads in request order."""
+    return [r.wait() for r in requests]
+
+
+def waitany(requests: Sequence[Request], poll_interval: float = 0.0005) -> int:
+    """Block until at least one request completes; returns its index.
+
+    Completed requests are reported before any polling sleep happens, so a
+    caller repeatedly removing finished requests drains them in arrival
+    order.  Raises ``ValueError`` on an empty sequence (nothing can ever
+    complete).  Backend-specific failure detection lives in ``test`` — the
+    thread engine's requests raise :class:`repro.mpi.engine.SpmdError` from
+    there when the run is aborted or the deadlock timeout expires.
+    """
+    if not requests:
+        raise ValueError("waitany needs at least one request")
+    while True:
+        for i, r in enumerate(requests):
+            if r.test():
+                return i
+        time.sleep(poll_interval)
 
 
 class ReduceOp:
@@ -42,6 +91,7 @@ class ReduceOp:
 
     @classmethod
     def apply(cls, op: str, values: Sequence[Any]) -> Any:
+        """Reduce ``values`` with named op ``op`` (or a custom callable)."""
         if callable(op):
             # custom associative reduction function over the list of values
             return op(values)
@@ -82,10 +132,34 @@ class Communicator:
         """Set the current accounting phase (optional for backends)."""
 
     def get_phase(self) -> str:  # pragma: no cover - trivial default
+        """The current accounting phase label."""
         return "unlabelled"
 
     def record_local_work(self, chars: int, items: int = 0) -> None:
         """Report local character/string work for the modelled running time."""
+
+    def record_overlap(self, overlapped: float, window: float) -> None:
+        """Report communication/computation overlap for the current phase.
+
+        ``overlapped`` is the wall-clock time this rank spent computing while
+        at least one non-blocking receive was outstanding; ``window`` is the
+        duration of the whole split-phase operation.  Backends without a
+        meter may ignore the call.
+        """
+
+    def record_exchange_collective(
+        self, nbytes: int, overlap_fraction: float = 0.0, hypercube: bool = False
+    ) -> None:
+        """Record a split-phase all-to-all as one collective cost-model event.
+
+        Every rank passes the total bytes it sent to *other* ranks; the
+        backend agrees on the bottleneck volume (and the mean overlap
+        fraction) and records a single ``alltoall`` event, exactly mirroring
+        what the blocking :meth:`alltoall` records — so the modelled time of
+        a split-phase exchange differs from the blocking one only by the
+        overlap credit.  Must be called by all ranks at the same program
+        point (it may synchronise internally).
+        """
 
     # ------------------------------------------------------------------ point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
@@ -110,20 +184,57 @@ class Communicator:
         """Exchange messages with ``peer`` (both sides must call this)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ non-blocking
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Request:
+        """Non-blocking send; returns a :class:`Request`.
+
+        Wire bytes are accounted immediately (the paper's volume metric does
+        not depend on when the transfer completes).  The message is only
+        guaranteed delivered once the request's :meth:`Request.wait` (or a
+        matching ``waitall``) has returned.
+        """
+        raise NotImplementedError
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; ``Request.wait()`` yields the payload.
+
+        Multiple outstanding receives from the same source are matched in
+        posting order, as MPI requires, regardless of the order their
+        ``test``/``wait`` methods are driven in.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def waitall(requests: Sequence[Request]) -> List[Any]:
+        """Convenience alias for :func:`waitall` (request-order payloads)."""
+        return waitall(requests)
+
+    @staticmethod
+    def waitany(requests: Sequence[Request]) -> int:
+        """Convenience alias for :func:`waitany` (index of a finished request)."""
+        return waitany(requests)
+
     # ------------------------------------------------------------------ collectives
     def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
         raise NotImplementedError
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        """Broadcast ``root``'s object to all ranks; returns it everywhere."""
         raise NotImplementedError
 
     def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (rank order); None elsewhere."""
         raise NotImplementedError
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Deal ``root``'s per-rank objects out; returns this rank's share."""
         raise NotImplementedError
 
     def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
+        """Gather one object per rank at *every* rank (rank order)."""
         raise NotImplementedError
 
     def alltoall(
@@ -139,16 +250,20 @@ class Communicator:
         raise NotImplementedError
 
     def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        """Reduce per-rank values with ``op`` at ``root``; None elsewhere."""
         raise NotImplementedError
 
     def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
+        """Reduce per-rank values with ``op``; every rank gets the result."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------ conveniences
     def is_root(self, root: int = 0) -> bool:
+        """Whether this rank is ``root``."""
         return self.rank == root
 
     def other_ranks(self) -> List[int]:
+        """Every rank except this one, in rank order."""
         return [r for r in range(self.size) if r != self.rank]
 
 

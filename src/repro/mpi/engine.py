@@ -8,12 +8,15 @@ and communicates through :class:`ThreadComm`, which implements the
 * a shared "board" (one slot per rank) plus a reusable barrier for
   collectives — the classic write / barrier / read / barrier pattern, valid
   because SPMD programs issue collectives in the same order on every rank,
-* per-ordered-pair message queues for point-to-point traffic.
+* per-ordered-pair message queues for point-to-point traffic, both blocking
+  (``send``/``recv``) and non-blocking (``isend``/``irecv`` returning
+  :class:`repro.mpi.comm.Request` handles matched in posting order).
 
 The engine does not try to be fast (the GIL serialises the local work
-anyway, which the benchmark methodology accounts for — see DESIGN.md); it is
-meant to be *correct*, deadlock-diagnosing and to deliver exact communication
-volume accounting via :class:`repro.net.metrics.TrafficMeter`.
+anyway, which the benchmark methodology accounts for — see
+``docs/ARCHITECTURE.md``); it is meant to be *correct*, deadlock-diagnosing
+and to deliver exact communication volume accounting via
+:class:`repro.net.metrics.TrafficMeter`.
 
 Typical use::
 
@@ -27,11 +30,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..net.metrics import TrafficMeter, TrafficReport
-from .comm import Communicator, ReduceOp
+from .comm import Communicator, ReduceOp, Request
 from .serialization import wire_size
 
 __all__ = ["ThreadComm", "SpmdError", "run_spmd"]
@@ -68,10 +73,114 @@ class _SharedState:
         self.error_lock = threading.Lock()
 
     def fail(self, exc: BaseException) -> None:
+        """Record ``exc`` and abort the run (wakes every blocked rank)."""
         with self.error_lock:
             self.errors.append(exc)
         self.error_event.set()
         self.barrier.abort()
+
+
+class _SendRequest(Request):
+    """Request handle of an :meth:`ThreadComm.isend`.
+
+    The simulated network has unbounded buffering (per-pair ``SimpleQueue``),
+    so a non-blocking send completes eagerly: the payload is enqueued and the
+    wire bytes accounted at post time, and the handle is born completed.
+    """
+
+    __slots__ = ()
+
+    def test(self) -> bool:
+        """Always complete (see class docstring)."""
+        return True
+
+    def wait(self) -> None:
+        """Sends carry no payload; returns ``None`` immediately."""
+        return None
+
+
+class _RecvRequest(Request):
+    """Request handle of an :meth:`ThreadComm.irecv`.
+
+    Outstanding receives from the same source are matched to incoming
+    messages in *posting* order (the MPI non-overtaking rule): whichever
+    request is polled, the communicator first drains the source's queue into
+    the pending-request FIFO, so driving requests out of order cannot steal
+    a message destined for an earlier request.
+    """
+
+    __slots__ = ("_comm", "source", "tag", "_done", "_value", "_first_poll")
+
+    def __init__(self, comm: "ThreadComm", source: int, tag: int):
+        self._comm = comm
+        self.source = source
+        self.tag = tag
+        self._done = False
+        self._value: Any = None
+        self._first_poll: Optional[float] = None
+
+    def _complete(self, got_tag: int, obj: Any) -> None:
+        if got_tag != self.tag:
+            raise SpmdError(
+                f"rank {self._comm.rank}: tag mismatch receiving from "
+                f"{self.source}: expected {self.tag}, got {got_tag} "
+                "(SPMD ordering violated)"
+            )
+        self._value = obj
+        self._done = True
+
+    def test(self) -> bool:
+        """Poll: drain the source queue, then report completion or timeout."""
+        if self._done:
+            return True
+        comm = self._comm
+        if comm._state.error_event.is_set():
+            raise SpmdError(
+                f"rank {comm.rank}: SPMD run aborted while waiting for "
+                f"a message from rank {self.source}"
+            )
+        comm._match_pending_recvs(self.source)
+        if self._done:
+            return True
+        now = time.monotonic()
+        if self._first_poll is None:
+            self._first_poll = now
+        elif now - self._first_poll > comm._state.timeout:
+            comm._state.fail(
+                SpmdError(
+                    f"rank {comm.rank}: timed out waiting for a message "
+                    f"from rank {self.source} (tag {self.tag})"
+                )
+            )
+            raise SpmdError(
+                f"rank {comm.rank}: recv timeout from rank {self.source}"
+            )
+        return False
+
+    def wait(self) -> Any:
+        """Block until the message arrives; returns the payload.
+
+        When this request is the oldest outstanding receive for its source
+        (the common case — and always the case for blocking ``recv``), the
+        wait blocks in ``queue.get`` like the engine always has, so idle
+        ranks sleep in the OS instead of spinning the GIL; ``test()`` still
+        runs every timeout slice for abort/deadlock detection.  Requests
+        behind an older sibling fall back to polling until they reach the
+        head of the FIFO.
+        """
+        comm = self._comm
+        q = comm._state.queues[(self.source, comm.rank)]
+        while not self.test():
+            pending = comm._pending_recvs.get(self.source)
+            if pending and pending[0] is self:
+                try:
+                    got_tag, obj = q.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                pending.popleft()._complete(got_tag, obj)  # completes self
+            else:
+                time.sleep(0.0005)
+        return self._value
 
 
 class ThreadComm(Communicator):
@@ -82,17 +191,43 @@ class ThreadComm(Communicator):
         self.size = state.num_pes
         self._state = state
         self._phase = "unlabelled"
+        self._pending_recvs: Dict[int, Deque[_RecvRequest]] = {}
 
     # ------------------------------------------------------------------ accounting
     def set_phase(self, name: str) -> None:
+        """Label this rank's subsequent traffic with ``name``."""
         self._phase = name
         self._state.meter.set_phase(self.rank, name)
 
     def get_phase(self) -> str:
+        """The current accounting phase label of this rank."""
         return self._phase
 
     def record_local_work(self, chars: int, items: int = 0) -> None:
+        """Charge local character/string work to this rank's meter slot."""
         self._state.meter.record_local_work(self.rank, chars, items)
+
+    def record_overlap(self, overlapped: float, window: float) -> None:
+        """Report split-phase overlap seconds under this rank's current phase."""
+        self._state.meter.record_overlap(self.rank, self._phase, overlapped, window)
+
+    def record_exchange_collective(
+        self, nbytes: int, overlap_fraction: float = 0.0, hypercube: bool = False
+    ) -> None:
+        """Agree on and record one all-to-all event for a split-phase exchange."""
+        # agree on the bottleneck volume exactly like the blocking alltoall
+        # does (a board exchange moves no accounted bytes), then let rank 0
+        # record the one collective event the cost model sees
+        stats = self._board_exchange((int(nbytes), float(overlap_fraction)))
+        if self.rank == 0:
+            kind = "alltoall-hypercube" if hypercube else "alltoall"
+            self._state.meter.record_collective(
+                kind,
+                max(b for b, _ in stats),
+                self.size,
+                self._phase,
+                overlap_fraction=sum(f for _, f in stats) / len(stats),
+            )
 
     # ------------------------------------------------------------------ low-level sync
     def _barrier_wait(self) -> None:
@@ -115,6 +250,7 @@ class ThreadComm(Communicator):
 
     # ------------------------------------------------------------------ point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
+        """Enqueue ``obj`` for ``dest`` and account its wire size."""
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         size = wire_size(obj) if nbytes is None else nbytes
@@ -122,49 +258,54 @@ class ThreadComm(Communicator):
         self._state.queues[(self.rank, dest)].put((tag, obj))
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        if not 0 <= source < self.size:
-            raise ValueError(f"invalid source rank {source}")
-        q = self._state.queues[(source, self.rank)]
-        waited = 0.0
-        while True:
-            try:
-                got_tag, obj = q.get(timeout=0.05)
-                break
-            except queue.Empty:
-                waited += 0.05
-                if self._state.error_event.is_set():
-                    raise SpmdError(
-                        f"rank {self.rank}: SPMD run aborted while waiting for "
-                        f"a message from rank {source}"
-                    ) from None
-                if waited > self._state.timeout:
-                    self._state.fail(
-                        SpmdError(
-                            f"rank {self.rank}: timed out waiting for a message "
-                            f"from rank {source} (tag {tag})"
-                        )
-                    )
-                    raise SpmdError(
-                        f"rank {self.rank}: recv timeout from rank {source}"
-                    )
-        if got_tag != tag:
-            raise SpmdError(
-                f"rank {self.rank}: tag mismatch receiving from {source}: "
-                f"expected {tag}, got {got_tag} (SPMD ordering violated)"
-            )
-        return obj
+        """Blocking receive: post an ``irecv`` and wait for it."""
+        return self.irecv(source, tag).wait()
 
     def sendrecv(self, obj: Any, peer: int, tag: int = 0, nbytes: Optional[int] = None) -> Any:
+        """Symmetric exchange with ``peer`` (both sides must call this)."""
         self.send(obj, peer, tag, nbytes)
         return self.recv(peer, tag)
 
+    # ------------------------------------------------------------------ non-blocking
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Request:
+        """Non-blocking send; completes eagerly (the network buffers unboundedly)."""
+        # the simulated network buffers without bound, so the transfer
+        # "completes" at post time; bytes are accounted exactly like send()
+        self.send(obj, dest, tag, nbytes)
+        return _SendRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Post a non-blocking receive; requests match messages in posting order."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        request = _RecvRequest(self, source, tag)
+        self._pending_recvs.setdefault(source, deque()).append(request)
+        return request
+
+    def _match_pending_recvs(self, source: int) -> None:
+        """Assign queued messages from ``source`` to requests in posting order."""
+        pending = self._pending_recvs.get(source)
+        if not pending:
+            return
+        q = self._state.queues[(source, self.rank)]
+        while pending:
+            try:
+                got_tag, obj = q.get_nowait()
+            except queue.Empty:
+                return
+            pending.popleft()._complete(got_tag, obj)
+
     # ------------------------------------------------------------------ collectives
     def barrier(self) -> None:
+        """Synchronise all ranks (recorded as one zero-byte collective)."""
         if self.rank == 0:
             self._state.meter.record_collective("barrier", 0, self.size, self._phase)
         self._barrier_wait()
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        """Broadcast from ``root``; accounted as a binomial tree."""
         snapshot = self._board_exchange(obj if self.rank == root else None)
         value = snapshot[root]
         if self.rank == root:
@@ -179,6 +320,7 @@ class ThreadComm(Communicator):
         return value
 
     def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
+        """Gather at ``root`` (rank order); every other rank sends once."""
         snapshot = self._board_exchange(obj)
         size = wire_size(obj) if nbytes is None else nbytes
         if self.rank != root:
@@ -193,6 +335,7 @@ class ThreadComm(Communicator):
         return list(snapshot) if self.rank == root else None
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Deal ``root``'s per-rank objects; each rank receives its slot."""
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError("scatter root must supply one object per rank")
@@ -211,6 +354,7 @@ class ThreadComm(Communicator):
         return parts[self.rank]
 
     def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
+        """All ranks observe all contributions; ring/gossip accounting."""
         snapshot = self._board_exchange(obj)
         size = wire_size(obj) if nbytes is None else nbytes
         # ring/gossip accounting: every PE forwards everything except its own
@@ -237,6 +381,7 @@ class ThreadComm(Communicator):
         nbytes: Optional[Sequence[int]] = None,
         hypercube: bool = False,
     ) -> List[Any]:
+        """Personalised all-to-all; returns received objects in source order."""
         if len(objs) != self.size:
             raise ValueError(
                 f"alltoall needs exactly one object per rank "
@@ -263,6 +408,7 @@ class ThreadComm(Communicator):
         return received
 
     def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        """Reduce per-rank values at ``root``; ``None`` elsewhere."""
         snapshot = self._board_exchange(value)
         size = wire_size(value)
         if self.rank != root:
@@ -274,6 +420,7 @@ class ThreadComm(Communicator):
         return None
 
     def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
+        """Reduce per-rank values; every rank receives the result."""
         snapshot = self._board_exchange(value)
         size = wire_size(value)
         if self.size > 1:

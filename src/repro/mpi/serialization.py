@@ -46,6 +46,7 @@ class WireSized:
     """Mix-in marking message classes that know their own wire size."""
 
     def wire_bytes(self) -> int:  # pragma: no cover - interface definition
+        """Exact bytes this message would occupy on a real wire."""
         raise NotImplementedError
 
 

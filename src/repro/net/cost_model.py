@@ -111,26 +111,55 @@ class MachineModel:
             return 0.0
         return self.alpha * math.log2(p) + self.beta * nbytes_per_pe * p
 
-    def alltoall_direct(self, max_bytes_per_pe: int, p: int) -> float:
+    def alltoall_direct(
+        self, max_bytes_per_pe: int, p: int, overlap_fraction: float = 0.0
+    ) -> float:
         """Personalised all-to-all with direct delivery: ``O(alpha p + beta h)``.
 
         ``max_bytes_per_pe`` is the bottleneck ``h``: the maximum over PEs of
         the total bytes sent (or received) by that PE in this exchange.
+        ``overlap_fraction`` applies the split-phase overlap credit, see
+        :meth:`overlap_credit`.
         """
         if p <= 1:
             return 0.0
-        return self.alpha * p + self.beta * max_bytes_per_pe
+        return (
+            self.alpha * p
+            + self.beta * max_bytes_per_pe
+            - self.overlap_credit(max_bytes_per_pe, overlap_fraction)
+        )
 
-    def alltoall_hypercube(self, max_bytes_per_pe: int, p: int) -> float:
+    def alltoall_hypercube(
+        self, max_bytes_per_pe: int, p: int, overlap_fraction: float = 0.0
+    ) -> float:
         """Personalised all-to-all routed through a hypercube.
 
         Latency drops to ``O(alpha log p)`` while the volume is inflated by a
         ``log p`` factor (every item travels through up to ``log p`` hops).
+        ``overlap_fraction`` credits the inflated bandwidth term, see
+        :meth:`overlap_credit`.
         """
         if p <= 1:
             return 0.0
         lg = math.log2(p)
-        return self.alpha * lg + self.beta * max_bytes_per_pe * lg
+        return (
+            self.alpha * lg
+            + self.beta * max_bytes_per_pe * lg
+            - self.overlap_credit(max_bytes_per_pe * lg, overlap_fraction)
+        )
+
+    def overlap_credit(self, nbytes: int, overlap_fraction: float) -> float:
+        """Bandwidth time hidden behind overlapped computation.
+
+        A split-phase exchange that keeps the receiver computing for a
+        fraction ``f`` of its delivery window hides that fraction of the
+        ``beta`` (bandwidth) term; the per-message latency ``alpha`` cannot
+        be hidden — posting still pays it — so the credit never touches it.
+        The fraction is clamped to ``[0, 1]``: overlapping more compute than
+        the window holds cannot make communication cheaper than free.
+        """
+        f = min(1.0, max(0.0, overlap_fraction))
+        return self.beta * nbytes * f
 
     # ------------------------------------------------------------------ local work
     def local_work(self, chars: int, items: int = 0) -> float:

@@ -30,12 +30,19 @@ __all__ = ["CollectiveEvent", "TrafficMeter", "TrafficReport"]
 
 @dataclass
 class CollectiveEvent:
-    """One collective operation as seen by the cost model."""
+    """One collective operation as seen by the cost model.
+
+    ``overlap_fraction`` is non-zero only for split-phase exchanges: the
+    fraction of the operation's window during which the participating ranks
+    computed while receives were still outstanding.  The cost model credits
+    that fraction of the bandwidth term (latency cannot be hidden).
+    """
 
     kind: str          # "bcast", "gather", "allgather", "alltoall", "reduce", "barrier", "p2p-round"
     phase: str
     max_bytes_per_pe: int
     num_pes: int
+    overlap_fraction: float = 0.0
 
 
 @dataclass
@@ -50,14 +57,20 @@ class TrafficReport:
     chars_inspected_per_pe: List[int]
     items_processed_per_pe: List[int]
     collectives: List[CollectiveEvent] = field(default_factory=list)
+    # per phase: summed wall-clock seconds ranks spent computing while >= 1
+    # non-blocking receive was outstanding, and the summed window durations
+    overlap_seconds: Dict[str, float] = field(default_factory=dict)
+    overlap_window_seconds: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate helpers ---------------------------------------------------------
     @property
     def total_bytes_sent(self) -> int:
+        """Bytes sent summed over all PEs (the paper's communication volume)."""
         return sum(self.bytes_sent_per_pe)
 
     @property
     def max_bytes_sent(self) -> int:
+        """Bottleneck PE: the maximum bytes any single PE sent."""
         return max(self.bytes_sent_per_pe, default=0)
 
     def bytes_per_string(self, num_strings: int) -> float:
@@ -66,8 +79,25 @@ class TrafficReport:
             return 0.0
         return self.total_bytes_sent / num_strings
 
+    def overlap_fraction(self, phase: str = "exchange") -> float:
+        """Fraction of ``phase``'s split-phase windows spent computing.
+
+        Computed over all ranks: summed compute-while-receiving seconds
+        divided by summed window seconds.  0.0 when the phase never ran a
+        split-phase (asynchronous) operation.
+        """
+        window = self.overlap_window_seconds.get(phase, 0.0)
+        if window <= 0.0:
+            return 0.0
+        return min(1.0, self.overlap_seconds.get(phase, 0.0) / window)
+
     def modeled_comm_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
-        """Alpha-beta communication time implied by the recorded collectives."""
+        """Alpha-beta communication time implied by the recorded collectives.
+
+        Split-phase exchanges (``overlap_fraction > 0``) are charged the
+        overlap-credited all-to-all cost: the hidden fraction of the
+        bandwidth term is subtracted, the latency term never is.
+        """
         total = 0.0
         for ev in self.collectives:
             if ev.kind == "bcast":
@@ -79,9 +109,13 @@ class TrafficReport:
             elif ev.kind == "allgather":
                 total += machine.allgather(ev.max_bytes_per_pe, ev.num_pes)
             elif ev.kind == "alltoall":
-                total += machine.alltoall_direct(ev.max_bytes_per_pe, ev.num_pes)
+                total += machine.alltoall_direct(
+                    ev.max_bytes_per_pe, ev.num_pes, ev.overlap_fraction
+                )
             elif ev.kind == "alltoall-hypercube":
-                total += machine.alltoall_hypercube(ev.max_bytes_per_pe, ev.num_pes)
+                total += machine.alltoall_hypercube(
+                    ev.max_bytes_per_pe, ev.num_pes, ev.overlap_fraction
+                )
             elif ev.kind == "barrier":
                 total += machine.broadcast(0, ev.num_pes)
             elif ev.kind == "p2p-round":
@@ -117,6 +151,8 @@ class TrafficMeter:
         self._items = [0] * num_pes
         self._collectives: List[CollectiveEvent] = []
         self._phases: Dict[int, str] = {}
+        self._overlap: Dict[str, float] = defaultdict(float)
+        self._overlap_window: Dict[str, float] = defaultdict(float)
 
     # ------------------------------------------------------------------ phases
     def set_phase(self, rank: int, phase: str) -> None:
@@ -125,6 +161,7 @@ class TrafficMeter:
             self._phases[rank] = phase
 
     def current_phase(self, rank: int) -> str:
+        """The phase label currently attributed to ``rank``'s traffic."""
         return self._phases.get(rank, "unlabelled")
 
     # ------------------------------------------------------------------ recording
@@ -154,13 +191,29 @@ class TrafficMeter:
             self._phase_bytes[phase] += nbytes
 
     def record_local_work(self, rank: int, chars: int, items: int = 0) -> None:
+        """Charge ``rank`` with ``chars`` inspected characters / ``items`` strings."""
         with self._lock:
             self._chars[rank] += chars
             self._items[rank] += items
 
-    def record_collective(
-        self, kind: str, max_bytes_per_pe: int, num_pes: int, phase: Optional[str] = None
+    def record_overlap(
+        self, rank: int, phase: str, overlapped: float, window: float
     ) -> None:
+        """Record split-phase overlap: ``rank`` computed for ``overlapped``
+        seconds of a ``window``-second asynchronous operation in ``phase``."""
+        with self._lock:
+            self._overlap[phase] += max(0.0, overlapped)
+            self._overlap_window[phase] += max(0.0, window)
+
+    def record_collective(
+        self,
+        kind: str,
+        max_bytes_per_pe: int,
+        num_pes: int,
+        phase: Optional[str] = None,
+        overlap_fraction: float = 0.0,
+    ) -> None:
+        """Append one collective event for the cost model (see CollectiveEvent)."""
         with self._lock:
             self._collectives.append(
                 CollectiveEvent(
@@ -168,11 +221,13 @@ class TrafficMeter:
                     phase=phase if phase is not None else "unlabelled",
                     max_bytes_per_pe=max_bytes_per_pe,
                     num_pes=num_pes,
+                    overlap_fraction=overlap_fraction,
                 )
             )
 
     # ------------------------------------------------------------------ results
     def report(self) -> TrafficReport:
+        """Snapshot all counters into an immutable :class:`TrafficReport`."""
         with self._lock:
             return TrafficReport(
                 num_pes=self.num_pes,
@@ -183,4 +238,6 @@ class TrafficMeter:
                 chars_inspected_per_pe=list(self._chars),
                 items_processed_per_pe=list(self._items),
                 collectives=list(self._collectives),
+                overlap_seconds=dict(self._overlap),
+                overlap_window_seconds=dict(self._overlap_window),
             )

@@ -26,9 +26,11 @@ class CharStats:
     bucket_passes: int = 0
 
     def add_chars(self, k: int) -> None:
+        """Charge ``k`` inspected characters."""
         self.chars_inspected += k
 
     def add_comparison(self, chars: int = 0) -> None:
+        """Charge one string comparison that inspected ``chars`` characters."""
         self.string_comparisons += 1
         self.chars_inspected += chars
 
@@ -39,6 +41,7 @@ class CharStats:
         self.bucket_passes += other.bucket_passes
 
     def reset(self) -> None:
+        """Zero all counters (for reuse across phases)."""
         self.chars_inspected = 0
         self.string_comparisons = 0
         self.bucket_passes = 0

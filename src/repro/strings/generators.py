@@ -395,6 +395,7 @@ class GeneratorSpec:
         self.params = params
 
     def generate(self, num_strings: int, seed: Optional[int] = None) -> List[bytes]:
+        """Instantiate the workload at ``num_strings`` strings."""
         return self.factory(num_strings, seed=seed, **self.params)
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -149,6 +149,7 @@ class PackedStringArray:
 
     @classmethod
     def empty(cls) -> "PackedStringArray":
+        """A packed array holding zero strings."""
         return cls(np.zeros(0, dtype=np.uint8), np.zeros(1, dtype=np.int64))
 
     # -- sequence protocol -----------------------------------------------------

@@ -31,6 +31,7 @@ class TestExamples:
         assert "bytes/string" in out
         assert "pdms-golomb" in out
         assert "per-PE output sizes" in out
+        assert "overlap fraction" in out
 
     def test_dna_reads_sort(self):
         out = _run("dna_reads_sort.py", "800")
