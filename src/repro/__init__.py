@@ -8,12 +8,16 @@ quicksort, LCP insertion sort, LCP loser trees) they rely on.
 
 Quickstart::
 
-    from repro import dsort
+    from repro import Cluster, MSSpec
     from repro.strings import dn_instance
 
     data = dn_instance(num_strings=20_000, dn=0.5, length=64, seed=1)
-    result = dsort(data, algorithm="ms", num_pes=8, check=True)
+    cluster = Cluster(num_pes=8)
+    result = cluster.sort(data, MSSpec(), check=True)
     print(result.bytes_per_string(), result.modeled_time())
+
+(The legacy one-shot :func:`dsort` facade remains as a thin wrapper over a
+throwaway :class:`Cluster`.)
 
 Architecture
 ------------
@@ -36,9 +40,13 @@ Architecture
   (``hquick``), Golomb-coded fingerprint duplicate detection
   (``golomb``/``duplicates``), the DIST-prefix approximation
   (``prefix_doubling``), D/N estimation (``dn_estimator``) and the
-  :func:`~repro.dist.api.dsort` facade (``api``);
+  per-algorithm rank programs plus the legacy :func:`dsort` shim (``api``);
+* :mod:`repro.session` — the public API: :class:`Cluster` sessions over a
+  reusable simulated machine, the typed :class:`SortSpec` configuration
+  hierarchy, the pluggable algorithm registry and streaming batch ingest;
 * :mod:`repro.bench` — the experiment harness reproducing the paper's
-  figures, driven by ``benchmarks/`` and the CLI (``python -m repro``).
+  figures (spec-driven sweeps keyed by ``config_hash``), driven by
+  ``benchmarks/`` and the CLI (``python -m repro``).
 """
 
 _SUBMODULE_HINT = (
@@ -64,6 +72,19 @@ try:
     from .mpi import Communicator, run_spmd
     from .net import MachineModel, DEFAULT_MACHINE
     from .sequential import sort_strings, sort_strings_with_lcp
+    from .session import (
+        AlgorithmRegistry,
+        AutoSpec,
+        Cluster,
+        FKMergeSpec,
+        HQuickSpec,
+        MSSimpleSpec,
+        MSSpec,
+        PDMSGolombSpec,
+        PDMSSpec,
+        SortSpec,
+        register_algorithm,
+    )
     from .strings import StringSet
 except ModuleNotFoundError as exc:  # pragma: no cover - import-time guard
     raise ImportError(
@@ -73,6 +94,17 @@ except ModuleNotFoundError as exc:  # pragma: no cover - import-time guard
 __version__ = "1.0.0"
 
 __all__ = [
+    "Cluster",
+    "SortSpec",
+    "HQuickSpec",
+    "FKMergeSpec",
+    "MSSpec",
+    "MSSimpleSpec",
+    "PDMSSpec",
+    "PDMSGolombSpec",
+    "AutoSpec",
+    "AlgorithmRegistry",
+    "register_algorithm",
     "ALGORITHMS",
     "DSortResult",
     "dsort",

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from ..dist.api import distribute_strings
+from ..session import MSSimpleSpec, MSSpec, PDMSGolombSpec, PDMSSpec
 from ..strings import generators
 from .harness import ExperimentResult, ExperimentRunner
 
@@ -208,11 +209,10 @@ def skewed_sampling_experiment(
         for scheme in ("string", "character"):
             cell = runner.run_cell(
                 "sec7e-skewed-sampling",
-                "ms",
+                MSSpec(sampling=scheme, seed=seed),
                 p,
                 f"skewed-{scheme}",
                 blocks,
-                sampling=scheme,
             )
             cell.extra["sampling"] = scheme
             out.add(cell)
@@ -238,20 +238,21 @@ def ablation_lcp_golomb(
         name="ablations",
         description="MS/PDMS design-choice ablations on the COMMONCRAWL-like corpus",
     )
+    # one typed spec per ablation arm; labels name the varied knob
     variants = [
-        ("ms-simple", "ms-simple", {}),
-        ("ms", "ms", {}),
-        ("ms-char-sampling", "ms", {"sampling": "character"}),
-        ("ms-hquick-sample-sort", "ms", {"sample_sort": "hquick"}),
-        ("pdms", "pdms", {}),
-        ("pdms-golomb", "pdms-golomb", {}),
-        ("pdms-eps-0.5", "pdms", {"epsilon": 0.5}),
-        ("pdms-eps-3", "pdms", {"epsilon": 3.0}),
+        ("ms-simple", MSSimpleSpec(seed=seed)),
+        ("ms", MSSpec(seed=seed)),
+        ("ms-char-sampling", MSSpec(sampling="character", seed=seed)),
+        ("ms-hquick-sample-sort", MSSpec(sample_sort="hquick", seed=seed)),
+        ("pdms", PDMSSpec(seed=seed)),
+        ("pdms-golomb", PDMSGolombSpec(seed=seed)),
+        ("pdms-eps-0.5", PDMSSpec(epsilon=0.5, seed=seed)),
+        ("pdms-eps-3", PDMSSpec(epsilon=3.0, seed=seed)),
     ]
     for p in pe_counts:
         blocks = distribute_strings(corpus, p, by="chars")
-        for label, alg, opts in variants:
-            cell = runner.run_cell("ablations", alg, p, label, blocks, **opts)
+        for label, spec in variants:
+            cell = runner.run_cell("ablations", spec, p, label, blocks)
             cell.extra["variant"] = label
             out.add(cell)
     return out

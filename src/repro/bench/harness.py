@@ -22,10 +22,11 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..dist.api import DSortResult, dsort
+from ..dist.api import DSortResult
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
+from ..session import Cluster, SortSpec, spec_from_options
 from ..strings.lcp import dn_ratio, merge_lcp_statistics
 from ..strings.stringset import StringSet
 
@@ -49,6 +50,10 @@ class CellResult:
     modeled_local_time: float
     wall_time: float
     imbalance: float
+    #: stable key of the exact configuration that produced this cell
+    #: (:meth:`repro.session.SortSpec.config_hash`); the resume key of the
+    #: checkpointing roadmap item
+    config_hash: str = ""
     extra: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -95,6 +100,14 @@ class ExperimentResult:
             if c.input_name not in seen:
                 seen.append(c.input_name)
         return seen
+
+    def by_config(self, config_hash: str) -> List[CellResult]:
+        """Cells produced by the configuration with this stable hash.
+
+        The lookup key for incremental sweeps: a resumed run recomputes only
+        the ``(config_hash, num_pes, input_name)`` combinations missing here.
+        """
+        return [c for c in self.cells if c.config_hash == config_hash]
 
     # -- rendering -------------------------------------------------------------------
     def to_json(self) -> str:
@@ -167,7 +180,17 @@ def _imbalance(result: DSortResult) -> float:
 
 
 class ExperimentRunner:
-    """Runs algorithm x scale sweeps over named inputs."""
+    """Runs spec x scale sweeps over named inputs.
+
+    Sweeps are driven by :class:`repro.session.SortSpec` lists — algorithm
+    names are accepted anywhere a spec is and mean that algorithm's default
+    spec (legacy ``**options`` still map through
+    :func:`repro.session.spec_from_options`).  Every cell is keyed by the
+    spec's stable :meth:`~repro.session.SortSpec.config_hash`.  One
+    :class:`repro.session.Cluster` per PE count is built lazily and reused
+    across all cells of that size, so a whole sweep shares its simulated
+    machines.
+    """
 
     def __init__(
         self,
@@ -178,32 +201,51 @@ class ExperimentRunner:
         self.machine = machine
         self.check = check
         self.seed = seed
+        self._clusters: Dict[int, Cluster] = {}
+
+    def cluster_for(self, num_pes: int) -> Cluster:
+        """The reusable cluster simulating ``num_pes`` PEs (built lazily)."""
+        if num_pes not in self._clusters:
+            self._clusters[num_pes] = Cluster(num_pes=num_pes, machine=self.machine)
+        return self._clusters[num_pes]
+
+    def _resolve_spec(
+        self, algorithm: Union[str, SortSpec], options: Dict[str, object]
+    ) -> SortSpec:
+        if isinstance(algorithm, SortSpec):
+            if options:
+                raise ValueError(
+                    "pass tuning options inside the SortSpec, not alongside it"
+                )
+            return algorithm
+        return spec_from_options(algorithm, options, seed=self.seed)
 
     def run_cell(
         self,
         experiment: str,
-        algorithm: str,
+        algorithm: Union[str, SortSpec],
         num_pes: int,
         input_name: str,
         blocks: Sequence[Sequence[bytes]],
         **options,
     ) -> CellResult:
-        """Run one algorithm on one pre-distributed input."""
+        """Run one configuration on one pre-distributed input.
+
+        ``algorithm`` is a :class:`~repro.session.SortSpec` or an algorithm
+        name (the latter optionally refined by legacy keyword ``options``).
+        """
+        spec = self._resolve_spec(algorithm, options)
+        cluster = self.cluster_for(num_pes)  # built outside the timed window
         t0 = time.perf_counter()
-        result = dsort(
-            blocks,
-            algorithm=algorithm,
-            pre_distributed=True,
-            check=self.check,
-            seed=self.seed,
-            **options,
+        result = cluster.sort(
+            blocks, spec, check=self.check, pre_distributed=True
         )
         wall = time.perf_counter() - t0
         report = result.report
         num_strings = result.num_strings
         cell = CellResult(
             experiment=experiment,
-            algorithm=algorithm,
+            algorithm=result.algorithm,
             num_pes=num_pes,
             input_name=input_name,
             num_strings=num_strings,
@@ -215,8 +257,10 @@ class ExperimentRunner:
             modeled_local_time=report.modeled_local_time(self.machine),
             wall_time=wall,
             imbalance=_imbalance(result),
+            config_hash=spec.config_hash(),
             extra=dict(result.extra),
         )
+        cell.extra["spec"] = spec.to_dict()
         cell.extra["phase_bytes"] = dict(report.phase_bytes)
         overlap = report.overlap_fraction("exchange")
         if overlap > 0.0:
@@ -229,18 +273,19 @@ class ExperimentRunner:
         self,
         experiment: str,
         description: str,
-        algorithms: Sequence[str],
+        algorithms: Sequence[Union[str, SortSpec]],
         pe_counts: Sequence[int],
         input_factory: Callable[[int, int], Sequence[Sequence[bytes]]],
         input_name: str = "input",
         input_stats: bool = False,
         **options,
     ) -> ExperimentResult:
-        """Run ``algorithms x pe_counts``; the input may depend on ``num_pes``.
+        """Run ``specs x pe_counts``; the input may depend on ``num_pes``.
 
-        ``input_factory(num_pes, seed)`` returns the per-PE blocks (so weak
-        scaling can grow the input with the machine while strong scaling
-        returns slices of a fixed corpus).
+        ``algorithms`` is a list of :class:`~repro.session.SortSpec` objects
+        and/or algorithm names.  ``input_factory(num_pes, seed)`` returns the
+        per-PE blocks (so weak scaling can grow the input with the machine
+        while strong scaling returns slices of a fixed corpus).
         """
         out = ExperimentResult(name=experiment, description=description)
         for p in pe_counts:

@@ -1,17 +1,22 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three subcommands cover the workflows a downstream user needs most often:
+Four subcommands cover the workflows a downstream user needs most often:
 
 * ``sort``        — sort a file of newline-separated strings (or a generated
-                    workload) with any of the paper's algorithms and report
-                    the communication metrics;
+                    workload) with any registered algorithm and report the
+                    communication metrics; configurations are typed
+                    :class:`repro.session.SortSpec` objects, either built
+                    from the flags or loaded verbatim with ``--spec``
+                    (JSON, via :meth:`SortSpec.from_dict`);
+* ``algorithms``  — list the algorithm registry: every entry's spec class,
+                    knobs, defaults and default config hash;
 * ``experiment``  — run one of the canned figure reproductions and print its
                     tables (optionally dump JSON);
 * ``generate``    — write one of the synthetic workloads to a file, e.g. to
                     feed external tools.
 
 The CLI is deliberately thin: it only parses arguments and delegates to the
-library (``repro.dist.api``, ``repro.bench``), so everything it does is also
+library (``repro.session``, ``repro.bench``), so everything it does is also
 available programmatically.
 """
 
@@ -20,13 +25,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import fields as dataclass_fields
 from typing import List, Optional, Sequence
 
 from .bench import experiments as canned
 from .bench.harness import ExperimentRunner
-from .dist.api import ALGORITHMS, dsort
-from .dist.exchange import async_exchange_enabled, use_async_exchange
 from .net.cost_model import DEFAULT_MACHINE
+from .session import Cluster, SortSpec, default_registry, spec_from_options
 from .strings import generators
 from .strings.lcp import dn_ratio
 
@@ -78,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sort = sub.add_parser("sort", help="sort strings with a distributed algorithm")
-    p_sort.add_argument("--algorithm", "-a", choices=ALGORITHMS, default="ms")
+    p_sort.add_argument(
+        "--algorithm", "-a", choices=default_registry().names(), default="ms"
+    )
     p_sort.add_argument("--num-pes", "-p", type=int, default=8)
     p_sort.add_argument("--input", "-i", help="file with one string per line (default: generate)")
     p_sort.add_argument("--workload", "-w", choices=sorted(_GENERATORS), default="dn50")
@@ -91,9 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="regular sampling scheme for the splitter determination",
     )
     p_sort.add_argument(
+        "--distribute-by", choices=("strings", "chars"), default="strings",
+        help="input distribution criterion: balance string counts or "
+        "character mass (the latter for length-skewed workloads)",
+    )
+    p_sort.add_argument(
+        "--spec",
+        help="full SortSpec as JSON (inline, or @path to a file); parsed via "
+        "SortSpec.from_dict and overriding --algorithm/--sampling/"
+        "--distribute-by/--seed",
+    )
+    p_sort.add_argument(
         "--async-exchange", action="store_true",
         help="run the bucket exchange split-phase (overlaps merge preparation "
         "with delivery; outputs and wire bytes are bit-identical)",
+    )
+
+    p_alg = sub.add_parser(
+        "algorithms", help="list the algorithm registry and the spec knobs"
+    )
+    p_alg.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="machine-readable output (one spec dict per algorithm)",
     )
 
     p_exp = sub.add_parser("experiment", help="run a canned figure reproduction")
@@ -123,21 +149,35 @@ def _load_or_generate(args) -> List[bytes]:
     return _GENERATORS[args.workload](args.num_strings, args.seed)
 
 
+def _spec_from_args(args) -> SortSpec:
+    """Build the sort's :class:`SortSpec` from the CLI flags (or ``--spec``)."""
+    if args.spec:
+        raw = args.spec
+        if raw.startswith("@"):
+            with open(raw[1:], "r") as fh:
+                raw = fh.read()
+        return SortSpec.from_dict(json.loads(raw))
+    return spec_from_options(
+        args.algorithm,
+        {"sampling": args.sampling},
+        seed=args.seed,
+        distribute_by=args.distribute_by,
+    )
+
+
 def _cmd_sort(args) -> int:
     data = _load_or_generate(args)
+    spec = _spec_from_args(args)
     # the flag only ever opts *in*: without it the REPRO_ASYNC_EXCHANGE
     # environment setting (or the default, off) stays in charge
-    with use_async_exchange(args.async_exchange or async_exchange_enabled()):
-        result = dsort(
-            data,
-            algorithm=args.algorithm,
-            num_pes=args.num_pes,
-            check=args.check,
-            seed=args.seed,
-            sampling=args.sampling,
-        )
+    cluster = Cluster(
+        num_pes=args.num_pes,
+        async_exchange=True if args.async_exchange else None,
+    )
+    result = cluster.sort(data, spec, check=args.check)
     report = result.report
-    print(f"algorithm          : {args.algorithm}")
+    print(f"algorithm          : {result.algorithm}")
+    print(f"config hash        : {spec.config_hash()}")
     print(f"simulated PEs      : {args.num_pes}")
     print(f"strings / chars    : {result.num_strings} / {result.num_chars}")
     print(f"input D/N          : {dn_ratio(data):.3f}")
@@ -145,7 +185,7 @@ def _cmd_sort(args) -> int:
     print(f"bytes per string   : {result.bytes_per_string():.2f}")
     print(f"modelled time      : {result.modeled_time(DEFAULT_MACHINE):.3e} s")
     print(f"bytes by phase     : {dict(report.phase_bytes)}")
-    if args.async_exchange or async_exchange_enabled():
+    if result.overlap_fraction() > 0.0:
         print(f"exchange overlap   : {result.overlap_fraction():.2f} of the delivery window")
     if args.check:
         print("output check       : passed")
@@ -154,6 +194,24 @@ def _cmd_sort(args) -> int:
             for s in result.sorted_strings:
                 fh.write(s + b"\n")
         print(f"sorted output      : {args.output}")
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    registry = default_registry()
+    if args.json_out:
+        payload = [entry.spec_cls().to_dict() for entry in registry]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for entry in registry:
+        default_spec = entry.spec_cls()
+        knobs = ", ".join(
+            f"{f.name}={getattr(default_spec, f.name)!r}"
+            for f in dataclass_fields(entry.spec_cls)
+        )
+        print(f"{entry.name:<12} spec={entry.spec_cls.__name__:<16} "
+              f"config={default_spec.config_hash()}")
+        print(f"             {knobs}")
     return 0
 
 
@@ -191,6 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "sort":
         return _cmd_sort(args)
+    if args.command == "algorithms":
+        return _cmd_algorithms(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "generate":

@@ -14,8 +14,9 @@ Layering (each module usable and testable on its own):
 * :mod:`~repro.dist.prefix_doubling` — the DIST-prefix approximation;
 * :mod:`~repro.dist.dn_estimator` — sampling-based D/N estimation for
   ``dsort(algorithm="auto")``;
-* :mod:`~repro.dist.api` — the :func:`dsort` facade, the algorithm
-  registry and the per-algorithm SPMD rank programs.
+* :mod:`~repro.dist.api` — the per-algorithm SPMD rank programs, the
+  :class:`DSortResult`/:class:`RankOutput` result shapes and the legacy
+  :func:`dsort` facade (new code goes through :mod:`repro.session`).
 """
 
 from .api import (
@@ -23,6 +24,7 @@ from .api import (
     DSortResult,
     MSConfig,
     PDMSConfig,
+    RankOutput,
     distribute_strings,
     dsort,
     fkmerge_sort,
@@ -50,6 +52,7 @@ __all__ = [
     "DSortResult",
     "MSConfig",
     "PDMSConfig",
+    "RankOutput",
     "distribute_strings",
     "dsort",
     "fkmerge_sort",

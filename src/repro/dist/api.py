@@ -1,14 +1,19 @@
-"""Public facade of the distributed string sorters.
+"""Rank programs and the legacy facade of the distributed string sorters.
 
-:func:`dsort` is the one-call entry point: it distributes the input over a
-simulated machine, runs one of the paper's algorithms SPMD, optionally
-verifies the output contract, and returns a :class:`DSortResult` bundling
-the per-PE outputs with the exact traffic report.
+The *current* public API lives in :mod:`repro.session`: a
+:class:`~repro.session.Cluster` running typed
+:class:`~repro.session.SortSpec` configurations through the pluggable
+algorithm registry.  This module keeps
 
-The per-algorithm rank programs (:func:`ms_sort`, :func:`pdms_sort`,
-:func:`fkmerge_sort`, plus :func:`repro.dist.hquick.hquick_sort`) are also
-usable directly with :func:`repro.mpi.run_spmd` when a caller wants to
-embed a sorter inside a larger SPMD computation.
+* the per-algorithm rank programs (:func:`ms_sort`, :func:`pdms_sort`,
+  :func:`fkmerge_sort`, plus :func:`repro.dist.hquick.hquick_sort`), usable
+  directly with :func:`repro.mpi.run_spmd` when a caller wants to embed a
+  sorter inside a larger SPMD computation;
+* :class:`DSortResult`, the result object both APIs return;
+* :func:`dsort`, the legacy one-shot facade — now a thin shim that maps its
+  keyword options onto a :class:`~repro.session.SortSpec` (emitting a
+  :class:`DeprecationWarning` for the untyped ``**options`` spelling) and
+  runs it on a throwaway :class:`~repro.session.Cluster`.
 
 Algorithms (Sections IV-VI):
 
@@ -25,20 +30,19 @@ pdms-golomb PDMS with Golomb-coded fingerprint messages
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..mpi.comm import Communicator
-from ..mpi.engine import run_spmd
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
 from ..net.metrics import TrafficReport
 from ..sequential import sort_strings_with_lcp
 from ..sequential.lcp_losertree import lcp_multiway_merge
 from ..sequential.losertree import multiway_merge
 from ..sequential.stats import CharStats
-from ..strings.checker import check_distributed_sort, check_prefix_permutation
 from ..strings.lcp import lcp_array
 from ..strings.packed import (
     PackedStringArray,
@@ -47,7 +51,6 @@ from ..strings.packed import (
     truncate,
 )
 from ..strings.stringset import StringSet, validate_strings
-from .dn_estimator import estimate_dn_ratio, recommend_algorithm
 from .exchange import (
     async_exchange_enabled,
     exchange_buckets,
@@ -63,6 +66,7 @@ __all__ = [
     "MSConfig",
     "PDMSConfig",
     "DSortResult",
+    "RankOutput",
     "distribute_strings",
     "dsort",
     "ms_sort",
@@ -104,12 +108,6 @@ class PDMSConfig:
 # ---------------------------------------------------------------------------
 # input distribution
 # ---------------------------------------------------------------------------
-
-def _block_num_chars(block: Sequence[bytes]) -> int:
-    if isinstance(block, PackedStringArray):
-        return block.num_chars
-    return sum(len(s) for s in block)
-
 
 def _distribute_packed(
     data: PackedStringArray, num_pes: int, by: str
@@ -382,12 +380,19 @@ def pdms_sort(
 
 
 # ---------------------------------------------------------------------------
-# algorithm registry
+# rank output + legacy algorithm table
 # ---------------------------------------------------------------------------
 
 @dataclass
-class _RankOutput:
-    """Uniform per-rank result shape across all algorithms."""
+class RankOutput:
+    """Uniform per-rank result shape across all algorithms.
+
+    Custom rank programs registered via
+    :func:`repro.session.register_algorithm` return one of these: the
+    rank's sorted strings, optionally their LCP array, the PDMS-style
+    origin labels, and a dict of protocol statistics (``extra`` values must
+    agree across ranks — the result assembly asserts it).
+    """
 
     strings: List[bytes]
     lcps: Optional[List[int]] = None
@@ -395,84 +400,37 @@ class _RankOutput:
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
-def _run_hquick(comm, local, seed, options):
-    out, lcps = hquick_sort(
-        comm, local, seed=seed, local_sorter=options.get("local_sorter", "msd_radix")
-    )
-    return _RankOutput(out, lcps)
+#: backward-compatible alias (the pre-redesign private name)
+_RankOutput = RankOutput
+
+RankRunner = Callable[[Communicator, List[bytes], int, Dict[str, Any]], RankOutput]
 
 
-def _run_fkmerge(comm, local, seed, options):
-    out, _ = fkmerge_sort(
-        comm,
-        local,
-        oversampling=options.get("oversampling"),
-        local_sorter=options.get("local_sorter", "msd_radix"),
-    )
-    return _RankOutput(out, None)
+def _legacy_runner(name: str) -> RankRunner:
+    """Adapt a registry entry to the legacy ``(comm, local, seed, options)``
+    rank-runner signature (what :data:`ALGORITHMS` has always exposed)."""
+
+    def run(comm, local, seed, options):
+        from ..session.specs import LEGACY_OPTIONS, spec_from_options
+        from ..session.registry import default_registry
+
+        # the historical runners ignored keys they did not understand;
+        # keep that for callers embedding them in their own SPMD programs
+        # (``dsort`` itself validates before the run starts)
+        options = {k: v for k, v in options.items() if k in LEGACY_OPTIONS}
+        spec = spec_from_options(name, options, seed=seed)
+        return default_registry().get(name).runner(comm, local, spec)
+
+    run.__name__ = f"run_{name.replace('-', '_')}"
+    return run
 
 
-def _ms_config(options: Dict[str, Any], lcp: bool) -> MSConfig:
-    return MSConfig(
-        sampling=options.get("sampling", "string"),
-        sample_sort=options.get("sample_sort", "central"),
-        local_sorter=options.get("local_sorter", "msd_radix"),
-        oversampling=options.get("oversampling"),
-        lcp_compression=lcp,
-        lcp_merge=lcp,
-    )
-
-
-def _run_ms(comm, local, seed, options):
-    out, lcps = ms_sort(comm, local, _ms_config(options, lcp=True))
-    return _RankOutput(out, lcps)
-
-
-def _run_ms_simple(comm, local, seed, options):
-    out, lcps = ms_sort(comm, local, _ms_config(options, lcp=False))
-    return _RankOutput(out, lcps)
-
-
-def _pdms_config(options: Dict[str, Any], golomb: bool) -> PDMSConfig:
-    return PDMSConfig(
-        sampling=options.get("sampling", "string"),
-        sample_sort=options.get("sample_sort", "central"),
-        local_sorter=options.get("local_sorter", "msd_radix"),
-        oversampling=options.get("oversampling"),
-        epsilon=options.get("epsilon", 1.0),
-        initial_length=options.get("initial_length", 16),
-        golomb=golomb,
-    )
-
-
-def _run_pdms(comm, local, seed, options):
-    out, lcps, origins, extra = pdms_sort(comm, local, _pdms_config(options, golomb=False))
-    return _RankOutput(out, lcps, origins, extra)
-
-
-def _run_pdms_golomb(comm, local, seed, options):
-    out, lcps, origins, extra = pdms_sort(comm, local, _pdms_config(options, golomb=True))
-    return _RankOutput(out, lcps, origins, extra)
-
-
-RankRunner = Callable[[Communicator, List[bytes], int, Dict[str, Any]], _RankOutput]
-
+#: legacy name -> rank-runner table (kept for callers embedding the rank
+#: programs in their own SPMD runs; new code resolves algorithms through
+#: :class:`repro.session.AlgorithmRegistry` instead)
 ALGORITHMS: Dict[str, RankRunner] = {
-    "hquick": _run_hquick,
-    "fkmerge": _run_fkmerge,
-    "ms-simple": _run_ms_simple,
-    "ms": _run_ms,
-    "pdms": _run_pdms,
-    "pdms-golomb": _run_pdms_golomb,
-}
-
-_KNOWN_OPTIONS = {
-    "sampling",
-    "sample_sort",
-    "local_sorter",
-    "oversampling",
-    "epsilon",
-    "initial_length",
+    name: _legacy_runner(name)
+    for name in ("hquick", "fkmerge", "ms-simple", "ms", "pdms", "pdms-golomb")
 }
 
 
@@ -494,6 +452,10 @@ class DSortResult:
     origins_per_pe: Optional[List[List[Tuple[int, int]]]]
     report: TrafficReport
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: the machine model of the cluster that produced this result (used by
+    #: :meth:`modeled_time` when no explicit model is passed); ``None``
+    #: falls back to :data:`repro.net.cost_model.DEFAULT_MACHINE`
+    machine: Optional[MachineModel] = None
 
     @property
     def sorted_strings(self) -> List[bytes]:
@@ -508,8 +470,15 @@ class DSortResult:
         """The paper's headline metric: total bytes sent / input strings."""
         return self.report.bytes_per_string(self.num_strings)
 
-    def modeled_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
-        """Modelled running time (local work bottleneck + communication)."""
+    def modeled_time(self, machine: Optional[MachineModel] = None) -> float:
+        """Modelled running time (local work bottleneck + communication).
+
+        ``machine`` defaults to the model of the cluster that produced this
+        result (:attr:`machine`), falling back to
+        :data:`~repro.net.cost_model.DEFAULT_MACHINE`.
+        """
+        if machine is None:
+            machine = self.machine if self.machine is not None else DEFAULT_MACHINE
         return self.report.modeled_total_time(machine)
 
     def overlap_fraction(self) -> float:
@@ -536,9 +505,18 @@ def dsort(
     check: bool = False,
     seed: int = 0,
     timeout: float = 600.0,
+    distribute_by: str = "strings",
     **options: Any,
 ) -> DSortResult:
-    """Sort a string array on a simulated distributed machine.
+    """Sort a string array on a throwaway simulated machine (legacy facade).
+
+    This is the backward-compatible one-shot wrapper over the session API:
+    it maps its arguments onto a :class:`repro.session.SortSpec`, builds a
+    throwaway :class:`repro.session.Cluster` and runs
+    :meth:`~repro.session.Cluster.sort` on it.  Passing algorithm knobs via
+    ``**options`` is **deprecated** (emits a :class:`DeprecationWarning`);
+    construct the typed spec instead — outputs, LCP arrays and wire bytes
+    are bit-identical either way.
 
     Parameters
     ----------
@@ -548,8 +526,9 @@ def dsort(
         zero-copy as buffer views) or, with ``pre_distributed=True``, a
         sequence of per-PE blocks (lists or packed arrays).
     algorithm:
-        One of :data:`ALGORITHMS`, or ``"auto"`` to let a D/N estimate pick
-        between ``ms`` and ``pdms-golomb`` at run time.
+        A registered algorithm name (:data:`ALGORITHMS` plus ``"auto"``,
+        which lets a D/N estimate pick between ``ms`` and ``pdms-golomb``
+        at run time).
     num_pes:
         Number of simulated PEs (ignored with ``pre_distributed``, which
         derives it from the number of blocks).  Defaults to 8.
@@ -559,74 +538,36 @@ def dsort(
     seed:
         Randomisation seed (hQuick pivot sampling, D/N estimation); never
         affects the sorted output.
+    distribute_by:
+        Input distribution criterion: ``"strings"`` balances string counts,
+        ``"chars"`` balances character mass (for length-skewed workloads).
     options:
-        Algorithm knobs: ``sampling``, ``sample_sort``, ``local_sorter``,
-        ``oversampling``, ``epsilon``, ``initial_length``.  Options not
-        applicable to the chosen algorithm are ignored.
+        Deprecated algorithm knobs: ``sampling``, ``sample_sort``,
+        ``local_sorter``, ``oversampling``, ``epsilon``,
+        ``initial_length``.  Options not applicable to the chosen algorithm
+        are ignored.
     """
-    if algorithm != "auto" and algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; "
-            f"available: {['auto'] + sorted(ALGORITHMS)}"
+    from ..session import Cluster, spec_from_options
+
+    if options:
+        warnings.warn(
+            "passing algorithm knobs to dsort(**options) is deprecated; "
+            "build a typed repro.session.SortSpec (e.g. MSSpec(sampling=...)) "
+            "and run it with repro.session.Cluster.sort",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    unknown = set(options) - _KNOWN_OPTIONS
-    if unknown:
-        raise ValueError(
-            f"unknown dsort option(s) {sorted(unknown)}; "
-            f"available: {sorted(_KNOWN_OPTIONS)}"
-        )
+    spec = spec_from_options(
+        algorithm, options, seed=seed, distribute_by=distribute_by
+    )
 
     if pre_distributed:
-        blocks = [
-            b if isinstance(b, PackedStringArray) else validate_strings(b)
-            for b in data
-        ]
-        num_pes = len(blocks)
-        if num_pes == 0:
+        data = list(data)
+        if not data:
             raise ValueError("pre_distributed input needs at least one block")
+        num_pes = len(data)
     else:
         num_pes = 8 if num_pes is None else num_pes
-        blocks = distribute_strings(data, num_pes)
 
-    def rank_program(comm: Communicator, local: List[bytes]) -> _RankOutput:
-        if algorithm == "auto":
-            estimate = estimate_dn_ratio(comm, local, seed=seed)
-            chosen = recommend_algorithm(estimate)
-            output = ALGORITHMS[chosen](comm, local, seed, options)
-            output.extra["chosen_algorithm"] = chosen
-            output.extra["estimated_dn"] = estimate.dn_ratio
-            return output
-        return ALGORITHMS[algorithm](comm, local, seed, options)
-
-    results, report = run_spmd(
-        num_pes,
-        rank_program,
-        args_per_rank=[(b,) for b in blocks],
-        timeout=timeout,
-    )
-
-    outputs = [r.strings for r in results]
-    lcps = [r.lcps for r in results]
-    has_origins = any(r.origins is not None for r in results)
-    origins = [r.origins or [] for r in results] if has_origins else None
-
-    result = DSortResult(
-        algorithm=algorithm,
-        num_pes=num_pes,
-        num_strings=sum(len(b) for b in blocks),
-        num_chars=sum(_block_num_chars(b) for b in blocks),
-        inputs_per_pe=blocks,
-        outputs_per_pe=outputs,
-        lcps_per_pe=lcps,
-        origins_per_pe=origins,
-        report=report,
-        extra=dict(results[0].extra) if results else {},
-    )
-
-    if check:
-        if has_origins:
-            check_prefix_permutation(blocks, outputs)
-        else:
-            all_lcps = lcps if all(h is not None for h in lcps) else None
-            check_distributed_sort(blocks, outputs, all_lcps)
-    return result
+    cluster = Cluster(num_pes=num_pes, timeout=timeout)
+    return cluster.sort(data, spec, check=check, pre_distributed=pre_distributed)

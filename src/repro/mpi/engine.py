@@ -39,7 +39,15 @@ from ..net.metrics import TrafficMeter, TrafficReport
 from .comm import Communicator, ReduceOp, Request
 from .serialization import wire_size
 
-__all__ = ["ThreadComm", "SpmdError", "run_spmd"]
+__all__ = [
+    "ThreadComm",
+    "ThreadEngine",
+    "SpmdError",
+    "run_spmd",
+    "ENGINES",
+    "get_engine",
+    "register_engine",
+]
 
 # Default ceiling on how long a rank may wait inside a collective or recv
 # before the run is declared deadlocked.  Generous because local sorting of
@@ -78,6 +86,27 @@ class _SharedState:
             self.errors.append(exc)
         self.error_event.set()
         self.barrier.abort()
+
+    def reset(self, meter: TrafficMeter, timeout: float) -> None:
+        """Re-arm a clean state for the next run on the same machine.
+
+        Only valid after a successful run: the barrier is intact (a broken
+        barrier is never reusable) and the message queues have been drained
+        by the ranks themselves.
+        """
+        self.meter = meter
+        self.timeout = timeout
+        self.board = [None] * self.num_pes
+        self.error_event = threading.Event()
+        self.errors = []
+
+    def is_clean(self) -> bool:
+        """Whether this state can be reused (no errors, no stray messages)."""
+        return (
+            not self.errors
+            and not self.barrier.broken
+            and all(q.empty() for q in self.queues.values())
+        )
 
 
 class _SendRequest(Request):
@@ -449,6 +478,169 @@ def _binomial_tree_edges(root: int, p: int) -> List[Tuple[int, int]]:
     return edges
 
 
+class ThreadEngine:
+    """A reusable simulated machine: thread-per-rank SPMD execution.
+
+    One engine owns the shared state of one simulated cluster (barrier,
+    board, per-pair message queues) and runs any number of SPMD programs on
+    it, one after the other.  After a clean run the state is **reused** —
+    the barrier and queues survive, only the meter and board are re-armed —
+    so a long-lived :class:`repro.session.Cluster` does not rebuild ``p²``
+    queues for every sort.  A failed run poisons the state (the barrier may
+    be broken, queues may hold stray messages), so the next run transparently
+    rebuilds it.
+
+    This class is also the **engine selection seam**: alternative backends
+    (e.g. a future mpi4py process engine) implement the same two-method
+    surface (``__init__(num_pes, timeout=...)`` + :meth:`run`) and register
+    under a name via :func:`register_engine`.
+    """
+
+    #: registry name of this backend
+    name = "threads"
+
+    def __init__(self, num_pes: int, timeout: float = _DEFAULT_TIMEOUT):
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self.timeout = timeout
+        self._state: Optional[_SharedState] = None
+        # one machine runs one SPMD program at a time: concurrent run()
+        # calls on the same engine serialise here (sharing one barrier and
+        # one set of queues between two live programs would corrupt both)
+        self._run_lock = threading.Lock()
+        #: completed :meth:`run` calls (successful or not)
+        self.runs_completed = 0
+        #: runs that reused the previous run's shared state (machine reuse)
+        self.state_reuses = 0
+
+    def _acquire_state(self, meter: TrafficMeter, timeout: float) -> _SharedState:
+        if self._state is not None and self._state.is_clean():
+            self._state.reset(meter, timeout)
+            self.state_reuses += 1
+            return self._state
+        return _SharedState(num_pes=self.num_pes, meter=meter, timeout=timeout)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[Tuple]] = None,
+        common_args: Tuple = (),
+        meter: Optional[TrafficMeter] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[Any], TrafficReport]:
+        """Run ``fn(comm, *rank_args, *common_args)`` on every simulated PE.
+
+        Parameters
+        ----------
+        fn:
+            The per-rank program.  Its first argument is the rank's
+            :class:`ThreadComm`.
+        args_per_rank:
+            Optional per-rank positional arguments (one tuple per rank),
+            e.g. the rank's slice of the input strings.
+        common_args:
+            Positional arguments appended for every rank.
+        meter:
+            Optional externally created :class:`TrafficMeter` (useful when a
+            caller aggregates several phases); a fresh one by default.
+        timeout:
+            Deadlock-detection timeout per blocking operation, in seconds
+            (defaults to the engine's timeout).
+
+        Returns
+        -------
+        (results, report):
+            ``results[r]`` is the return value of rank ``r``; ``report`` is
+            the traffic report of this run only.
+        """
+        num_pes = self.num_pes
+        if args_per_rank is not None and len(args_per_rank) != num_pes:
+            raise ValueError("args_per_rank must have one entry per rank")
+
+        meter = meter if meter is not None else TrafficMeter(num_pes)
+        with self._run_lock:
+            return self._run_locked(
+                fn, args_per_rank, common_args, meter,
+                self.timeout if timeout is None else timeout,
+            )
+
+    def _run_locked(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[Tuple]],
+        common_args: Tuple,
+        meter: TrafficMeter,
+        timeout: float,
+    ) -> Tuple[List[Any], TrafficReport]:
+        num_pes = self.num_pes
+        state = self._acquire_state(meter, timeout)
+        results: List[Any] = [None] * num_pes
+
+        def runner(rank: int) -> None:
+            comm = ThreadComm(rank, state)
+            rank_args = tuple(args_per_rank[rank]) if args_per_rank is not None else ()
+            try:
+                results[rank] = fn(comm, *rank_args, *common_args)
+            except SpmdError as exc:
+                # secondary failures triggered by another rank's abort are noise
+                with state.error_lock:
+                    if not state.errors:
+                        state.errors.append(exc)
+                state.error_event.set()
+                state.barrier.abort()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+                state.fail(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"pe-{rank}", daemon=True)
+            for rank in range(num_pes)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        self.runs_completed += 1
+        # keep the machine only if it is provably reusable
+        self._state = state if state.is_clean() else None
+
+        if state.errors:
+            primary = state.errors[0]
+            raise SpmdError(
+                f"SPMD run on {num_pes} PEs failed: {primary!r}"
+            ) from primary
+        return results, meter.report()
+
+
+#: engine name -> factory (``factory(num_pes, timeout=...)``)
+ENGINES: Dict[str, Callable[..., ThreadEngine]] = {"threads": ThreadEngine}
+
+
+def register_engine(name: str, factory: Callable[..., Any]) -> None:
+    """Register an execution backend under ``name`` (e.g. a future ``"mpi"``).
+
+    ``factory(num_pes, timeout=...)`` must return an object with the
+    :class:`ThreadEngine` surface (a ``run`` method with the same signature).
+    """
+    if not name:
+        raise ValueError("engine name must be a non-empty string")
+    if not callable(factory):
+        raise TypeError(f"engine factory for {name!r} must be callable")
+    ENGINES[name] = factory
+
+
+def get_engine(name: str) -> Callable[..., Any]:
+    """The engine factory registered under ``name`` (ValueError if absent)."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)} "
+            "(register new backends with repro.mpi.engine.register_engine)"
+        ) from None
+
+
 def run_spmd(
     num_pes: int,
     fn: Callable[..., Any],
@@ -457,67 +649,12 @@ def run_spmd(
     meter: Optional[TrafficMeter] = None,
     timeout: float = _DEFAULT_TIMEOUT,
 ) -> Tuple[List[Any], TrafficReport]:
-    """Run ``fn(comm, *rank_args, *common_args)`` on ``num_pes`` simulated PEs.
+    """Run one SPMD program on a throwaway simulated machine.
 
-    Parameters
-    ----------
-    num_pes:
-        Number of simulated PEs (threads).
-    fn:
-        The per-rank program.  Its first argument is the rank's
-        :class:`ThreadComm`.
-    args_per_rank:
-        Optional per-rank positional arguments (sequence of tuples, one per
-        rank), e.g. the rank's slice of the input strings.
-    common_args:
-        Positional arguments appended for every rank.
-    meter:
-        Optional externally created :class:`TrafficMeter` (useful when a
-        caller wants to aggregate several phases); a fresh one is created by
-        default.
-    timeout:
-        Deadlock-detection timeout per blocking operation, in seconds.
-
-    Returns
-    -------
-    (results, report):
-        ``results[r]`` is the return value of rank ``r``; ``report`` is the
-        traffic report of the whole run.
+    The one-shot convenience wrapper around :class:`ThreadEngine` (which
+    long-lived callers — e.g. :class:`repro.session.Cluster` — hold on to
+    for machine reuse); see :meth:`ThreadEngine.run` for the parameters.
     """
-    if num_pes <= 0:
-        raise ValueError("num_pes must be positive")
-    if args_per_rank is not None and len(args_per_rank) != num_pes:
-        raise ValueError("args_per_rank must have one entry per rank")
-
-    meter = meter if meter is not None else TrafficMeter(num_pes)
-    state = _SharedState(num_pes=num_pes, meter=meter, timeout=timeout)
-    results: List[Any] = [None] * num_pes
-
-    def runner(rank: int) -> None:
-        comm = ThreadComm(rank, state)
-        rank_args = tuple(args_per_rank[rank]) if args_per_rank is not None else ()
-        try:
-            results[rank] = fn(comm, *rank_args, *common_args)
-        except SpmdError as exc:
-            # secondary failures triggered by another rank's abort are noise
-            with state.error_lock:
-                if not state.errors:
-                    state.errors.append(exc)
-            state.error_event.set()
-            state.barrier.abort()
-        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
-            state.fail(exc)
-
-    threads = [
-        threading.Thread(target=runner, args=(rank,), name=f"pe-{rank}", daemon=True)
-        for rank in range(num_pes)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if state.errors:
-        primary = state.errors[0]
-        raise SpmdError(f"SPMD run on {num_pes} PEs failed: {primary!r}") from primary
-    return results, meter.report()
+    return ThreadEngine(num_pes, timeout=timeout).run(
+        fn, args_per_rank=args_per_rank, common_args=common_args, meter=meter
+    )

@@ -25,7 +25,14 @@ from typing import Dict, List, Optional
 
 from .cost_model import DEFAULT_MACHINE, MachineModel
 
-__all__ = ["CollectiveEvent", "TrafficMeter", "TrafficReport"]
+__all__ = [
+    "CollectiveEvent",
+    "TrafficMeter",
+    "TrafficReport",
+    "zero_traffic_report",
+    "fold_traffic_report",
+    "merge_traffic_reports",
+]
 
 
 @dataclass
@@ -135,6 +142,71 @@ class TrafficReport:
     def modeled_total_time(self, machine: MachineModel = DEFAULT_MACHINE) -> float:
         """Modelled total running time = local work bottleneck + communication."""
         return self.modeled_local_time(machine) + self.modeled_comm_time(machine)
+
+
+_PER_PE_FIELDS = (
+    "bytes_sent_per_pe",
+    "bytes_received_per_pe",
+    "messages_per_pe",
+    "chars_inspected_per_pe",
+    "items_processed_per_pe",
+)
+
+_PHASE_DICT_FIELDS = ("phase_bytes", "overlap_seconds", "overlap_window_seconds")
+
+
+def zero_traffic_report(num_pes: int) -> "TrafficReport":
+    """An all-zero report for ``num_pes`` PEs (the merge identity)."""
+    return TrafficReport(
+        num_pes=num_pes,
+        bytes_sent_per_pe=[0] * num_pes,
+        bytes_received_per_pe=[0] * num_pes,
+        messages_per_pe=[0] * num_pes,
+        phase_bytes={},
+        chars_inspected_per_pe=[0] * num_pes,
+        items_processed_per_pe=[0] * num_pes,
+    )
+
+
+def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> None:
+    """Add ``report``'s counters into ``target`` **in place** (exact sums).
+
+    The single definition of the report-merge contract: per-PE
+    byte/message/work counters and per-phase byte/overlap dicts add
+    element-wise, collective events concatenate (so the cost model charges
+    every run's collectives).  Used by :func:`merge_traffic_reports` and by
+    the streaming accumulator of
+    :class:`repro.session.stream.BatchStream` (which folds batch by batch
+    instead of re-merging the growing cumulative report).
+    """
+    if report.num_pes != target.num_pes:
+        raise ValueError(
+            "cannot merge traffic reports from machines of different sizes: "
+            f"{sorted({target.num_pes, report.num_pes})}"
+        )
+    for attr in _PER_PE_FIELDS:
+        totals = getattr(target, attr)
+        for pe, v in enumerate(getattr(report, attr)):
+            totals[pe] += v
+    for attr in _PHASE_DICT_FIELDS:
+        totals = getattr(target, attr)
+        for phase, value in getattr(report, attr).items():
+            totals[phase] = totals.get(phase, 0) + value
+    target.collectives.extend(report.collectives)
+
+
+def merge_traffic_reports(reports: List["TrafficReport"]) -> "TrafficReport":
+    """Combine per-run reports into one cumulative report (exact sums).
+
+    A fresh report built by folding every input through
+    :func:`fold_traffic_report`; the inputs are never mutated.  All reports
+    must describe the same machine (equal ``num_pes``).  An empty input
+    merges to an all-zero single-PE report.
+    """
+    merged = zero_traffic_report(reports[0].num_pes if reports else 1)
+    for r in reports:
+        fold_traffic_report(merged, r)
+    return merged
 
 
 class TrafficMeter:

@@ -1,0 +1,60 @@
+"""Session-based sorting API: :class:`Cluster` + typed :class:`SortSpec`.
+
+This package is the public face of the distributed sorters since the API
+redesign:
+
+* :class:`Cluster` — a reusable simulated machine with per-cluster settings
+  (engine backend, packed hot path, split-phase exchange), replacing the
+  process-global environment toggles;
+* the :class:`SortSpec` hierarchy — one frozen, validated, serializable
+  configuration dataclass per algorithm (``to_dict`` / ``from_dict`` /
+  stable ``config_hash()``), replacing ``dsort(**options)``;
+* :class:`AlgorithmRegistry` / :func:`register_algorithm` — the pluggable
+  name -> (rank runner, spec class) mapping through which third-party SPMD
+  rank programs join ``Cluster.sort`` without editing ``repro.dist.api``;
+* :class:`BatchStream` — streaming batch ingest
+  (:meth:`Cluster.sort_batches`) with a cumulative merged traffic report.
+
+The legacy one-shot :func:`repro.dsort` facade remains as a deprecating
+shim over a throwaway :class:`Cluster`.
+"""
+
+from .cluster import Cluster
+from .registry import (
+    AlgorithmEntry,
+    AlgorithmRegistry,
+    default_registry,
+    register_algorithm,
+)
+from .specs import (
+    AutoSpec,
+    FKMergeSpec,
+    HQuickSpec,
+    MSSimpleSpec,
+    MSSpec,
+    PDMSGolombSpec,
+    PDMSSpec,
+    SampledSpec,
+    SortSpec,
+    spec_from_options,
+)
+from .stream import BatchStream
+
+__all__ = [
+    "Cluster",
+    "BatchStream",
+    "AlgorithmEntry",
+    "AlgorithmRegistry",
+    "default_registry",
+    "register_algorithm",
+    "SortSpec",
+    "HQuickSpec",
+    "FKMergeSpec",
+    "SampledSpec",
+    "MSSpec",
+    "MSSimpleSpec",
+    "PDMSSpec",
+    "PDMSGolombSpec",
+    "AutoSpec",
+    "spec_from_options",
+]

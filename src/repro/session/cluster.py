@@ -1,0 +1,276 @@
+"""The session object of the new API: a reusable simulated machine.
+
+A :class:`Cluster` owns one execution engine (by default the thread-per-rank
+:class:`repro.mpi.engine.ThreadEngine`, whose shared machine state is reused
+across sorts) together with the per-cluster settings that used to live in
+process-global environment toggles (``REPRO_PACKED`` /
+``REPRO_ASYNC_EXCHANGE``).  Sorting goes through typed
+:class:`repro.session.SortSpec` configurations resolved against a pluggable
+:class:`repro.session.AlgorithmRegistry`::
+
+    from repro.session import Cluster, MSSpec
+
+    cluster = Cluster(num_pes=8, async_exchange=True)
+    result = cluster.sort(data, MSSpec(sampling="character"), check=True)
+
+Streaming ingest (:meth:`Cluster.sort_batches`) sorts an iterable of chunks
+one at a time — bounded memory, per-batch :class:`repro.dist.api.DSortResult`
+objects, and a cumulative merged :class:`repro.net.metrics.TrafficReport` —
+the path a CommonCrawl WET reader will feed.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..dist.api import DSortResult, RankOutput, distribute_strings
+from ..dist.exchange import use_async_exchange
+from ..mpi.comm import Communicator
+from ..mpi.engine import SpmdError, get_engine
+from ..net.cost_model import DEFAULT_MACHINE, MachineModel
+from ..strings.checker import check_distributed_sort, check_prefix_permutation
+from ..strings.packed import PackedStringArray, use_packed
+from ..strings.stringset import validate_strings
+from .registry import AlgorithmRegistry, default_registry
+from .specs import SortSpec
+from .stream import BatchStream
+
+__all__ = ["Cluster"]
+
+
+def _block_num_chars(block: Sequence) -> int:
+    if isinstance(block, PackedStringArray):
+        return block.num_chars
+    return sum(len(s) for s in block)
+
+
+def _merge_rank_extras(results: List[RankOutput]) -> Dict[str, Any]:
+    """Aggregate per-rank ``extra`` dicts, asserting the ranks agree.
+
+    The historical facade reported ``results[0].extra`` only; with
+    ``algorithm="auto"`` a bug in the (collective) estimate could let ranks
+    silently pick different algorithms.  Here every rank's extras are
+    combined and any disagreement on a shared key raises.
+    """
+    merged: Dict[str, Any] = {}
+    owner: Dict[str, int] = {}
+    for rank, output in enumerate(results):
+        for key, value in output.extra.items():
+            if key in merged:
+                if merged[key] != value:
+                    raise SpmdError(
+                        f"ranks disagree on extra {key!r}: rank {owner[key]} "
+                        f"reports {merged[key]!r}, rank {rank} reports {value!r}"
+                    )
+            else:
+                merged[key] = value
+                owner[key] = rank
+    return merged
+
+
+class Cluster:
+    """A reusable simulated machine plus its scoped execution settings.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of simulated PEs of this cluster.
+    machine:
+        The alpha-beta :class:`~repro.net.cost_model.MachineModel` used for
+        modelled-time queries on results produced here.
+    engine:
+        Execution backend name (see :data:`repro.mpi.engine.ENGINES`);
+        ``"threads"`` is the built-in simulator, a future ``"mpi"`` backend
+        plugs in via :func:`repro.mpi.engine.register_engine`.
+    packed / async_exchange:
+        Per-cluster versions of the former process-global toggles: ``True``
+        / ``False`` force the packed hot path / split-phase exchange on or
+        off for sorts on this cluster, ``None`` (default) inherits the
+        process-level setting (``REPRO_PACKED`` / ``REPRO_ASYNC_EXCHANGE``).
+        Neither affects sorted outputs, LCP arrays or wire bytes.
+    timeout:
+        Deadlock-detection timeout per blocking operation, in seconds.
+    registry:
+        The :class:`~repro.session.AlgorithmRegistry` resolving algorithm
+        names; defaults to the process-wide registry.
+    """
+
+    def __init__(
+        self,
+        num_pes: int = 8,
+        *,
+        machine: MachineModel = DEFAULT_MACHINE,
+        engine: str = "threads",
+        packed: Optional[bool] = None,
+        async_exchange: Optional[bool] = None,
+        timeout: float = 600.0,
+        registry: Optional[AlgorithmRegistry] = None,
+    ):
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self.machine = machine
+        self.packed = packed
+        self.async_exchange = async_exchange
+        self.timeout = timeout
+        self.registry = registry if registry is not None else default_registry()
+        self.engine_name = engine
+        self._engine = get_engine(engine)(num_pes, timeout=timeout)
+        # serialises toggle application *together with* the run: the engine
+        # has its own run lock, but the packed/async windows must cover the
+        # whole run of the sort they belong to, not interleave with a
+        # sibling sort's window
+        self._sort_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ internals
+    @property
+    def engine(self):
+        """The underlying execution engine (reused across sorts)."""
+        return self._engine
+
+    @contextmanager
+    def _scoped_toggles(self):
+        """Apply this cluster's packed/async settings for one run.
+
+        The underlying switches are process-global, so the scope is the
+        duration of the run.  Concurrent sorts on *this* cluster are safe
+        (:meth:`sort` holds one lock across toggle window and engine run);
+        concurrent sorts on differently-configured clusters in one process
+        would still interleave their windows — use one cluster per thread
+        or identical settings in that case.
+        """
+        with ExitStack() as stack:
+            if self.packed is not None:
+                stack.enter_context(use_packed(self.packed))
+            if self.async_exchange is not None:
+                stack.enter_context(use_async_exchange(self.async_exchange))
+            yield
+
+    def _resolve_spec(
+        self, spec: Union[SortSpec, str, None], algorithm: Optional[str]
+    ) -> SortSpec:
+        if spec is not None and algorithm is not None:
+            raise ValueError("pass either spec or algorithm, not both")
+        if spec is None:
+            name = algorithm if algorithm is not None else "ms"
+            return self.registry.spec_class(name)()
+        if isinstance(spec, str):
+            return self.registry.spec_class(spec)()
+        if not isinstance(spec, SortSpec):
+            raise TypeError(
+                f"spec must be a SortSpec, algorithm name or None, got {spec!r}"
+            )
+        # surface unregistered spec classes before the SPMD run starts
+        self.registry.get(type(spec).algorithm)
+        return spec
+
+    def _distribute(
+        self, data: Sequence, spec: SortSpec, pre_distributed: bool
+    ) -> List[Sequence]:
+        if pre_distributed:
+            blocks = [
+                b if isinstance(b, PackedStringArray) else validate_strings(b)
+                for b in data
+            ]
+            if len(blocks) != self.num_pes:
+                raise ValueError(
+                    f"pre_distributed input has {len(blocks)} blocks but the "
+                    f"cluster simulates {self.num_pes} PEs"
+                )
+            return blocks
+        return distribute_strings(data, self.num_pes, by=spec.distribute_by)
+
+    # ------------------------------------------------------------------ sorting
+    def sort(
+        self,
+        data: Sequence,
+        spec: Union[SortSpec, str, None] = None,
+        *,
+        algorithm: Optional[str] = None,
+        check: bool = False,
+        pre_distributed: bool = False,
+    ) -> DSortResult:
+        """Sort ``data`` on this cluster; returns a :class:`DSortResult`.
+
+        Parameters
+        ----------
+        data:
+            A flat sequence of strings (``bytes``/``str``), a
+            :class:`~repro.strings.stringset.StringSet`, a
+            :class:`~repro.strings.packed.PackedStringArray`, or — with
+            ``pre_distributed=True`` — one block per PE.
+        spec:
+            A :class:`SortSpec` (or an algorithm name, meaning that
+            algorithm's default spec).  Defaults to ``MSSpec()``.
+        algorithm:
+            Convenience alternative to ``spec``: an algorithm name.
+        check:
+            Verify the output contract (full-sort or the PDMS
+            prefix-permutation contract).
+        pre_distributed:
+            ``data`` is already one block per PE; ``spec.distribute_by`` is
+            ignored.
+        """
+        spec = self._resolve_spec(spec, algorithm)
+        entry = self.registry.get(type(spec).algorithm)
+        blocks = self._distribute(data, spec, pre_distributed)
+
+        def rank_program(comm: Communicator, local) -> RankOutput:
+            return entry.runner(comm, local, spec)
+
+        with self._sort_lock, self._scoped_toggles():
+            results, report = self._engine.run(
+                rank_program, args_per_rank=[(b,) for b in blocks]
+            )
+
+        outputs = [r.strings for r in results]
+        lcps = [r.lcps for r in results]
+        has_origins = any(r.origins is not None for r in results)
+        origins = [r.origins or [] for r in results] if has_origins else None
+
+        result = DSortResult(
+            algorithm=entry.name,
+            num_pes=self.num_pes,
+            num_strings=sum(len(b) for b in blocks),
+            num_chars=sum(_block_num_chars(b) for b in blocks),
+            inputs_per_pe=blocks,
+            outputs_per_pe=outputs,
+            lcps_per_pe=lcps,
+            origins_per_pe=origins,
+            report=report,
+            extra=_merge_rank_extras(results),
+            machine=self.machine,
+        )
+
+        if check:
+            if has_origins:
+                check_prefix_permutation(blocks, outputs)
+            else:
+                all_lcps = lcps if all(h is not None for h in lcps) else None
+                check_distributed_sort(blocks, outputs, all_lcps)
+        return result
+
+    def sort_batches(
+        self,
+        batches: Iterable[Sequence],
+        spec: Union[SortSpec, str, None] = None,
+        *,
+        algorithm: Optional[str] = None,
+        check: bool = False,
+    ) -> BatchStream:
+        """Sort an iterable of chunks one at a time (streaming ingest).
+
+        Each chunk is distributed, sorted and returned as its own
+        :class:`DSortResult` while the next chunk has not been pulled from
+        ``batches`` yet — memory stays bounded by one chunk plus its sorted
+        output, which is what lets a WET-file reader feed terabyte-scale
+        corpora through a laptop-sized simulation.  The returned
+        :class:`~repro.session.stream.BatchStream` is lazy: iterate it for
+        the per-batch results, or call :meth:`~repro.session.stream.BatchStream.run`
+        to drain it; its ``merged_report`` always covers exactly the batches
+        sorted so far (totals equal to the sum of the per-batch reports).
+        """
+        spec = self._resolve_spec(spec, algorithm)
+        return BatchStream(self, batches, spec, check=check)

@@ -1,0 +1,322 @@
+"""Typed, frozen, serializable sorting configurations (:class:`SortSpec`).
+
+One dataclass per algorithm replaces the untyped ``dsort(**options)`` dict:
+a spec is validated at construction time, hashable, immutable, and travels
+losslessly through ``to_dict`` / :meth:`SortSpec.from_dict`.  The stable
+:meth:`SortSpec.config_hash` keys benchmark cells and (per the roadmap)
+future checkpoint files, so it must not depend on process state — it is a
+SHA-256 over the canonical JSON form, identical across processes, Python
+versions and field declaration order.
+
+The hierarchy mirrors the paper's algorithm families:
+
+=================== =======================================================
+:class:`HQuickSpec`      hypercube quicksort (Section IV)
+:class:`FKMergeSpec`     Fischer-Kurpicz merge sort baseline
+:class:`MSSimpleSpec`    distributed merge sort without LCP optimisations
+:class:`MSSpec`          merge sort with LCP compression + LCP-aware merge
+:class:`PDMSSpec`        prefix-doubling merge sort (Section VI)
+:class:`PDMSGolombSpec`  PDMS with Golomb-coded fingerprints
+:class:`AutoSpec`        run-time D/N estimate picks ms vs pdms-golomb
+=================== =======================================================
+
+Algorithm lookup goes through the :class:`repro.session.registry` so
+third-party specs registered via :func:`repro.session.register_algorithm`
+deserialize exactly like the built-ins.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, ClassVar, Dict, Mapping, Optional
+
+__all__ = [
+    "SortSpec",
+    "HQuickSpec",
+    "FKMergeSpec",
+    "SampledSpec",
+    "MSSpec",
+    "MSSimpleSpec",
+    "PDMSSpec",
+    "PDMSGolombSpec",
+    "AutoSpec",
+    "spec_from_options",
+    "LEGACY_OPTIONS",
+]
+
+_DISTRIBUTE_BY = ("strings", "chars")
+_SAMPLING = ("string", "character")
+_SAMPLE_SORT = ("central", "hquick")
+
+
+def _suggest(name: str, candidates) -> str:
+    """``", did you mean 'x'?"`` when ``name`` is close to a candidate."""
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f", did you mean {close[0]!r}?" if close else ""
+
+
+@dataclass(frozen=True)
+class SortSpec:
+    """Common base of all algorithm configurations.
+
+    A spec bundles everything that defines *what* a sort computes and how
+    its knobs are set; everything about *where* it runs (number of PEs,
+    machine model, engine, packed/async toggles) lives on the
+    :class:`repro.session.Cluster` instead.
+
+    Attributes
+    ----------
+    local_sorter:
+        The per-PE sequential sorter, one of
+        :data:`repro.sequential.SEQUENTIAL_SORTERS`.
+    distribute_by:
+        Input distribution criterion: ``"strings"`` balances string counts,
+        ``"chars"`` balances character mass (the right notion for
+        length-skewed workloads, Section VII-E).
+    seed:
+        Randomisation seed (hQuick pivots, D/N estimation); never affects
+        the sorted output.
+    """
+
+    #: the registry name of the algorithm this spec configures
+    algorithm: ClassVar[str] = ""
+
+    local_sorter: str = "msd_radix"
+    distribute_by: str = "strings"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate field values (all specs are checked at construction)."""
+        from ..sequential import SEQUENTIAL_SORTERS
+
+        if self.local_sorter not in SEQUENTIAL_SORTERS:
+            raise ValueError(
+                f"unknown local_sorter {self.local_sorter!r}"
+                f"{_suggest(self.local_sorter, SEQUENTIAL_SORTERS)}; "
+                f"available: {sorted(SEQUENTIAL_SORTERS)}"
+            )
+        if self.distribute_by not in _DISTRIBUTE_BY:
+            raise ValueError(
+                f"unknown distribute_by {self.distribute_by!r}; "
+                f"use one of {list(_DISTRIBUTE_BY)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a flat JSON-ready dict (``algorithm`` + all fields)."""
+        out: Dict[str, Any] = {"algorithm": type(self).algorithm}
+        out.update(asdict(self))
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any], registry=None) -> "SortSpec":
+        """Rebuild a spec from :meth:`to_dict` output (inverse, key-order free).
+
+        ``data`` must carry an ``"algorithm"`` key naming a registered
+        algorithm; the remaining keys must be fields of that algorithm's
+        spec class.  Unknown algorithm names and unknown keys raise
+        :class:`ValueError` with a nearest-match suggestion.  ``registry``
+        defaults to the process-wide default
+        :class:`repro.session.AlgorithmRegistry`.
+        """
+        from .registry import default_registry
+
+        registry = registry if registry is not None else default_registry()
+        payload = dict(data)
+        try:
+            name = payload.pop("algorithm")
+        except KeyError:
+            raise ValueError("spec dict is missing the 'algorithm' key") from None
+        spec_cls = registry.spec_class(name)
+        known = {f.name for f in fields(spec_cls)}
+        unknown = set(payload) - known
+        if unknown:
+            worst = sorted(unknown)[0]
+            raise ValueError(
+                f"unknown key(s) {sorted(unknown)} for {name!r} spec"
+                f"{_suggest(worst, known)}; known keys: {sorted(known)}"
+            )
+        return spec_cls(**payload)
+
+    def config_hash(self) -> str:
+        """Stable 16-hex-digit digest of the configuration.
+
+        Computed as SHA-256 over the canonical (sorted-key, compact) JSON
+        form of :meth:`to_dict`, so it is identical across processes and
+        insensitive to field order — the key the benchmark harness uses for
+        its cells and the checkpointing roadmap item will use for resume
+        files.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def replace(self, **changes: Any) -> "SortSpec":
+        """A copy of the spec with ``changes`` applied (validated again)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class HQuickSpec(SortSpec):
+    """Hypercube quicksort (Section IV): strings as atoms, no extra knobs."""
+
+    algorithm: ClassVar[str] = "hquick"
+
+
+@dataclass(frozen=True)
+class FKMergeSpec(SortSpec):
+    """FKmerge baseline: centralised splitters, atomic multiway merge.
+
+    ``oversampling`` is the per-PE sample multiplier of the centralised
+    splitter determination (``None`` = the implementation default).
+    """
+
+    algorithm: ClassVar[str] = "fkmerge"
+
+    oversampling: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Validate common fields plus the oversampling factor."""
+        super().__post_init__()
+        if self.oversampling is not None and self.oversampling < 1:
+            raise ValueError(
+                f"oversampling must be >= 1 or None, got {self.oversampling!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SampledSpec(FKMergeSpec):
+    """Shared knobs of the sampling-based merge sorts (MS / PDMS families).
+
+    ``sampling`` selects string- or character-based regular sampling
+    (Theorems 2/3); ``sample_sort`` sorts the sample centrally on PE 0 or
+    with a distributed hypercube quicksort.
+    """
+
+    algorithm: ClassVar[str] = ""
+
+    sampling: str = "string"
+    sample_sort: str = "central"
+
+    def __post_init__(self) -> None:
+        """Validate the sampling scheme and sample-sort backend names."""
+        super().__post_init__()
+        if self.sampling not in _SAMPLING:
+            raise ValueError(
+                f"unknown sampling {self.sampling!r}; use one of {list(_SAMPLING)}"
+            )
+        if self.sample_sort not in _SAMPLE_SORT:
+            raise ValueError(
+                f"unknown sample_sort {self.sample_sort!r}; "
+                f"use one of {list(_SAMPLE_SORT)}"
+            )
+
+
+@dataclass(frozen=True)
+class MSSpec(SampledSpec):
+    """Distributed merge sort with the LCP machinery on (Section V)."""
+
+    algorithm: ClassVar[str] = "ms"
+
+
+@dataclass(frozen=True)
+class MSSimpleSpec(SampledSpec):
+    """Distributed merge sort without LCP compression or LCP-aware merging."""
+
+    algorithm: ClassVar[str] = "ms-simple"
+
+
+@dataclass(frozen=True)
+class PDMSSpec(SampledSpec):
+    """Prefix-doubling merge sort (Section VI).
+
+    ``epsilon`` is the prefix growth factor (candidate lengths grow by
+    ``1 + epsilon`` per round); ``initial_length`` the first candidate
+    prefix length.
+    """
+
+    algorithm: ClassVar[str] = "pdms"
+
+    epsilon: float = 1.0
+    initial_length: int = 16
+
+    def __post_init__(self) -> None:
+        """Validate the prefix-doubling growth parameters."""
+        super().__post_init__()
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon!r}")
+        if self.initial_length < 1:
+            raise ValueError(
+                f"initial_length must be >= 1, got {self.initial_length!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PDMSGolombSpec(PDMSSpec):
+    """PDMS with Golomb-coded fingerprint messages (Section VI-B)."""
+
+    algorithm: ClassVar[str] = "pdms-golomb"
+
+
+@dataclass(frozen=True)
+class AutoSpec(PDMSSpec):
+    """Run-time algorithm selection via the sampled D/N estimate.
+
+    Carries the union of the MS and PDMS knobs; whichever algorithm the
+    estimate picks (``ms`` or ``pdms-golomb``) uses its subset.
+    """
+
+    algorithm: ClassVar[str] = "auto"
+
+
+#: the legacy ``dsort(**options)`` vocabulary (kept for the shim's errors)
+LEGACY_OPTIONS = frozenset(
+    {
+        "sampling",
+        "sample_sort",
+        "local_sorter",
+        "oversampling",
+        "epsilon",
+        "initial_length",
+    }
+)
+
+
+def spec_from_options(
+    algorithm: str,
+    options: Optional[Mapping[str, Any]] = None,
+    *,
+    seed: int = 0,
+    distribute_by: str = "strings",
+    registry=None,
+) -> SortSpec:
+    """Map a legacy ``dsort``-style flat option dict onto the typed spec.
+
+    This is the compatibility seam behind the deprecated ``dsort(**options)``
+    spelling: option names are validated against the legacy vocabulary
+    (:data:`LEGACY_OPTIONS`, with a nearest-match suggestion on typos), and
+    options that do not apply to the chosen algorithm are silently ignored —
+    exactly the facade's historical contract.
+    """
+    from .registry import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    options = dict(options or {})
+    unknown = set(options) - LEGACY_OPTIONS
+    if unknown:
+        worst = sorted(unknown)[0]
+        raise ValueError(
+            f"unknown dsort option(s) {sorted(unknown)}"
+            f"{_suggest(worst, LEGACY_OPTIONS)}; "
+            f"available: {sorted(LEGACY_OPTIONS)}"
+        )
+    spec_cls = registry.spec_class(algorithm)
+    known = {f.name for f in fields(spec_cls)}
+    kwargs = {k: v for k, v in options.items() if k in known and v is not None}
+    return spec_cls(seed=seed, distribute_by=distribute_by, **kwargs)

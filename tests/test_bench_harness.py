@@ -62,6 +62,61 @@ class TestExperimentRunner:
         assert slow_cell.modeled_time > fast_cell.modeled_time
 
 
+class TestSpecDrivenSweeps:
+    def test_run_cell_accepts_a_spec_and_keys_by_config_hash(self):
+        from repro.session import MSSpec
+
+        runner = ExperimentRunner()
+        data = random_strings(200, 1, 10, seed=11)
+        blocks = [data[:100], data[100:]]
+        spec = MSSpec(sampling="character")
+        cell = runner.run_cell("unit", spec, 2, "rand", blocks)
+        assert cell.algorithm == "ms"
+        assert cell.config_hash == spec.config_hash()
+        assert cell.extra["spec"] == spec.to_dict()
+        assert cell.as_dict()["config_hash"] == spec.config_hash()
+
+    def test_spec_with_extra_options_rejected(self):
+        from repro.session import MSSpec
+
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError, match="inside the SortSpec"):
+            runner.run_cell("unit", MSSpec(), 2, "rand", [[b"a"], [b"b"]], sampling="string")
+
+    def test_sweep_over_spec_list(self):
+        from repro.session import MSSpec, PDMSSpec
+
+        runner = ExperimentRunner()
+
+        def factory(p, seed):
+            data = random_strings(40 * p, 1, 8, seed=seed)
+            return [data[r * 40 : (r + 1) * 40] for r in range(p)]
+
+        specs = [MSSpec(), MSSpec(sampling="character"), PDMSSpec(epsilon=0.5)]
+        res = runner.sweep("unit-specs", "d", specs, [2], factory)
+        assert len(res.cells) == 3
+        hashes = [c.config_hash for c in res.cells]
+        assert len(set(hashes)) == 3
+        for spec, h in zip(specs, hashes):
+            assert res.by_config(h)[0].extra["spec"] == spec.to_dict()
+
+    def test_runner_reuses_clusters_per_pe_count(self):
+        runner = ExperimentRunner()
+        data = random_strings(120, 1, 8, seed=12)
+        blocks = [data[:60], data[60:]]
+        runner.run_cell("unit", "ms", 2, "rand", blocks)
+        runner.run_cell("unit", "pdms", 2, "rand", blocks)
+        assert runner.cluster_for(2).engine.state_reuses >= 1
+
+    def test_name_cells_also_carry_config_hash(self):
+        runner = ExperimentRunner()
+        data = random_strings(100, 1, 8, seed=13)
+        cell = runner.run_cell("unit", "ms", 2, "rand", [data[:50], data[50:]])
+        from repro.session import spec_from_options
+
+        assert cell.config_hash == spec_from_options("ms", {}).config_hash()
+
+
 class TestExperimentResult:
     def _tiny_result(self):
         runner = ExperimentRunner()

@@ -61,6 +61,64 @@ class TestSortCommand:
         assert "total bytes sent" in out and "prefix-doubling" in out
 
 
+class TestSortSpecFlags:
+    def test_distribute_by_chars(self, capsys, tmp_path):
+        in_file = tmp_path / "skewed.txt"
+        in_file.write_bytes(b"\n".join([b"x" * 60] * 3 + [b"y"] * 100) + b"\n")
+        code = main(
+            ["sort", "-i", str(in_file), "-p", "4", "--distribute-by", "chars", "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "output check       : passed" in out
+        assert "config hash" in out
+
+    def test_inline_spec_json(self, capsys):
+        code = main(
+            [
+                "sort", "-n", "200", "-p", "2", "-w", "random",
+                "--spec", '{"algorithm": "pdms", "epsilon": 0.5}',
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm          : pdms" in out
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"algorithm": "ms", "sampling": "character"}')
+        code = main(
+            ["sort", "-n", "150", "-p", "2", "-w", "random", "--spec", f"@{spec_file}"]
+        )
+        assert code == 0
+        assert "algorithm          : ms" in capsys.readouterr().out
+
+    def test_bad_spec_key_fails_with_suggestion(self, capsys):
+        with pytest.raises(ValueError, match="sampling"):
+            main(["sort", "-n", "50", "--spec", '{"algorithm": "ms", "sampilng": "x"}'])
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registry(self, capsys):
+        code = main(["algorithms"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("hquick", "fkmerge", "ms-simple", "ms", "pdms", "pdms-golomb", "auto"):
+            assert name in out
+        assert "config=" in out and "epsilon" in out
+
+    def test_json_output_round_trips_through_from_dict(self, capsys):
+        from repro.session import SortSpec
+
+        code = main(["algorithms", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) >= 7
+        for entry in payload:
+            spec = SortSpec.from_dict(entry)
+            assert spec.to_dict() == entry
+
+
 class TestGenerateCommand:
     def test_generate_writes_file(self, capsys, tmp_path):
         out_file = tmp_path / "corpus.txt"

@@ -33,6 +33,13 @@ class TestExamples:
         assert "per-PE output sizes" in out
         assert "overlap fraction" in out
 
+    def test_session_quickstart(self):
+        out = _run("session_quickstart.py")
+        assert "config hash" in out
+        assert "machine reuses" in out
+        assert "ms-stamped" in out
+        assert "batch ingest" in out
+
     def test_dna_reads_sort(self):
         out = _run("dna_reads_sort.py", "800")
         assert "PDMS-Golomb" in out

@@ -1,0 +1,134 @@
+"""The legacy ``dsort`` facade is a faithful shim over the session API.
+
+Three contracts are pinned here:
+
+* every documented ``dsort(**options)`` spelling maps onto the equivalent
+  typed :class:`~repro.session.SortSpec` and emits a
+  :class:`DeprecationWarning`;
+* the shim's results are **bit-identical** to ``Cluster.sort`` with the
+  equivalent spec — sorted outputs, per-PE slices, LCP arrays, origin
+  labels and exact wire bytes — across all six algorithms (a hypothesis
+  equivalence suite drives adversarial inputs through both paths);
+* the non-deprecated ``dsort`` arguments (``algorithm``, ``num_pes``,
+  ``check``, ``seed``, ``distribute_by``, ``pre_distributed``) keep working
+  without warnings.
+"""
+
+import warnings
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import dsort
+from repro.dist.api import ALGORITHMS
+from repro.session import Cluster, SortSpec, spec_from_options
+
+# every documented option, exercised on every algorithm it applies to
+DOCUMENTED_SPELLINGS = [
+    ("hquick", {"local_sorter": "timsort"}),
+    ("fkmerge", {"oversampling": 4}),
+    ("ms-simple", {"sampling": "character"}),
+    ("ms", {"sampling": "character", "sample_sort": "hquick"}),
+    ("ms", {"oversampling": 8, "local_sorter": "multikey_quicksort"}),
+    ("pdms", {"epsilon": 0.5, "initial_length": 8}),
+    ("pdms-golomb", {"epsilon": 3.0, "sampling": "character"}),
+    ("auto", {"epsilon": 0.5}),
+]
+
+
+def _assert_bit_identical(legacy, modern):
+    assert legacy.outputs_per_pe == modern.outputs_per_pe
+    assert legacy.lcps_per_pe == modern.lcps_per_pe
+    assert legacy.origins_per_pe == modern.origins_per_pe
+    assert legacy.report.total_bytes_sent == modern.report.total_bytes_sent
+    assert legacy.report.bytes_sent_per_pe == modern.report.bytes_sent_per_pe
+    assert dict(legacy.report.phase_bytes) == dict(modern.report.phase_bytes)
+    assert (
+        legacy.report.chars_inspected_per_pe
+        == modern.report.chars_inspected_per_pe
+    )
+
+
+class TestDocumentedSpellings:
+    @pytest.mark.parametrize("algorithm,options", DOCUMENTED_SPELLINGS)
+    def test_options_map_to_spec_warn_and_match(self, algorithm, options):
+        data = [b"banana", b"apple", b"app", b"", b"apple", b"cherry"] * 20
+        with pytest.warns(DeprecationWarning, match="SortSpec"):
+            legacy = dsort(data, algorithm=algorithm, num_pes=3, seed=5, **options)
+        spec = spec_from_options(algorithm, options, seed=5)
+        modern = Cluster(num_pes=3).sort(data, spec)
+        assert legacy.algorithm == modern.algorithm
+        _assert_bit_identical(legacy, modern)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_no_options_no_warning(self, algorithm):
+        data = [b"pear", b"fig", b"plum", b"fig"] * 10
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            res = dsort(data, algorithm=algorithm, num_pes=2, seed=1, check=True)
+        assert res.num_strings == len(data)
+
+    def test_distribute_by_is_not_deprecated_and_matches(self):
+        data = [b"x" * 50] * 4 + [b"y"] * 120
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            legacy = dsort(data, algorithm="ms", num_pes=4, distribute_by="chars")
+        spec = SortSpec.from_dict({"algorithm": "ms", "distribute_by": "chars"})
+        modern = Cluster(num_pes=4).sort(data, spec)
+        _assert_bit_identical(legacy, modern)
+        sizes = [sum(len(s) for s in b) for b in legacy.inputs_per_pe]
+        assert max(sizes) < 0.6 * sum(sizes)
+
+    def test_unknown_option_still_raises(self):
+        with pytest.raises(ValueError, match="oversampling"):
+            dsort([b"a"], algorithm="ms", num_pes=2, oversampliing=3)
+
+    def test_unknown_algorithm_still_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            dsort([b"a"], algorithm="bogosort", num_pes=2)
+
+    def test_embedded_rank_runners_ignore_unknown_options(self):
+        # ALGORITHMS is kept for callers embedding rank programs in their
+        # own SPMD runs; those historically ignored unrecognised keys
+        from repro.mpi.engine import run_spmd
+
+        def program(comm, local):
+            return ALGORITHMS["ms"](comm, local, 0, {"my_knob": 1}).strings
+
+        results, _ = run_spmd(
+            2, program, args_per_rank=[([b"b", b"d"],), ([b"a", b"c"],)]
+        )
+        assert sorted(s for part in results for s in part) == [b"a", b"b", b"c", b"d"]
+
+
+# ---------------------------------------------------------------------------
+# hypothesis equivalence: legacy facade vs session API, adversarial inputs
+# ---------------------------------------------------------------------------
+
+# tiny alphabet -> shared prefixes and duplicates; empties and more PEs than
+# strings are reachable through the size bounds
+adversarial_strings = st.lists(
+    st.binary(max_size=10).map(lambda b: bytes(97 + (c % 3) for c in b)),
+    max_size=60,
+)
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**_SETTINGS)
+@given(
+    strings=adversarial_strings,
+    algorithm=st.sampled_from(sorted(ALGORITHMS)),
+    p=st.integers(min_value=1, max_value=4),
+)
+def test_cluster_sort_matches_legacy_dsort(strings, algorithm, p):
+    legacy = dsort(strings, algorithm=algorithm, num_pes=p, seed=3)
+    spec = spec_from_options(algorithm, {}, seed=3)
+    modern = Cluster(num_pes=p).sort(strings, spec)
+    assert modern.sorted_strings == sorted(strings)
+    _assert_bit_identical(legacy, modern)

@@ -1,0 +1,282 @@
+"""Cluster sessions: machine reuse, scoped toggles, engine seam, registry."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.dist.api import RankOutput, dsort, ms_sort, MSConfig
+from repro.mpi.engine import (
+    ENGINES,
+    SpmdError,
+    ThreadEngine,
+    get_engine,
+    register_engine,
+)
+from repro.session import (
+    AlgorithmRegistry,
+    Cluster,
+    HQuickSpec,
+    MSSpec,
+    PDMSGolombSpec,
+    default_registry,
+    register_algorithm,
+)
+from repro.strings.generators import dn_instance, random_strings
+from repro.strings.packed import packed_enabled
+
+
+class TestClusterSort:
+    def test_sort_with_default_spec(self):
+        data = random_strings(200, 1, 12, seed=1)
+        res = Cluster(num_pes=4).sort(data, check=True)
+        assert res.algorithm == "ms"
+        assert res.sorted_strings == sorted(data)
+
+    def test_algorithm_name_means_default_spec(self):
+        data = random_strings(120, 1, 8, seed=2)
+        by_name = Cluster(num_pes=3).sort(data, "pdms-golomb", check=True)
+        by_spec = Cluster(num_pes=3).sort(data, PDMSGolombSpec(), check=True)
+        assert by_name.outputs_per_pe == by_spec.outputs_per_pe
+        assert by_name.report.total_bytes_sent == by_spec.report.total_bytes_sent
+
+    def test_spec_and_algorithm_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Cluster(num_pes=2).sort([b"a"], MSSpec(), algorithm="ms")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            Cluster(num_pes=2).sort([b"a"], "bogosort")
+
+    def test_pre_distributed_block_count_must_match(self):
+        with pytest.raises(ValueError, match="2 blocks"):
+            Cluster(num_pes=4).sort([[b"a"], [b"b"]], pre_distributed=True)
+
+    def test_distribute_by_chars_balances_character_mass(self):
+        data = [b"x" * 60] * 3 + [b"y"] * 200
+        res = Cluster(num_pes=4).sort(
+            data, MSSpec(distribute_by="chars"), check=True
+        )
+        sizes = [sum(len(s) for s in b) for b in res.inputs_per_pe]
+        assert max(sizes) < 0.6 * sum(sizes)
+        assert res.sorted_strings == sorted(data)
+
+    def test_invalid_num_pes(self):
+        with pytest.raises(ValueError):
+            Cluster(num_pes=0)
+
+
+class TestMachineReuse:
+    def test_engine_state_is_reused_across_sorts(self):
+        data = random_strings(150, 1, 10, seed=3)
+        cluster = Cluster(num_pes=4)
+        first = cluster.sort(data, MSSpec())
+        second = cluster.sort(data, MSSpec())
+        assert cluster.engine.runs_completed == 2
+        assert cluster.engine.state_reuses >= 1
+        # reports are per-run: reuse must not leak bytes between sorts
+        assert first.report.total_bytes_sent == second.report.total_bytes_sent
+
+    def test_reuse_across_different_algorithms(self):
+        data = random_strings(100, 1, 8, seed=4)
+        cluster = Cluster(num_pes=3)
+        for name in ("ms", "hquick", "pdms", "fkmerge"):
+            cluster.sort(data, name, check=True)
+        assert cluster.engine.state_reuses >= 3
+
+    def test_failed_run_rebuilds_the_machine(self):
+        cluster = Cluster(num_pes=2)
+
+        reg = default_registry().copy()
+
+        def exploding(comm, local, spec):
+            raise RuntimeError("boom")
+
+        @dataclass(frozen=True)
+        class BoomSpec(MSSpec):
+            algorithm = "boom"
+
+        reg.register("boom", exploding, BoomSpec)
+        bad = Cluster(num_pes=2, registry=reg)
+        with pytest.raises(SpmdError):
+            bad.sort([b"a", b"b"], "boom")
+        # the poisoned state must not be reused
+        ok = bad.sort([b"b", b"a"], "ms", check=True)
+        assert ok.sorted_strings == [b"a", b"b"]
+
+
+class TestConcurrentSorts:
+    def test_concurrent_sorts_on_one_cluster_serialise_safely(self):
+        import threading
+
+        data = random_strings(200, 1, 10, seed=20)
+        cluster = Cluster(num_pes=3)
+        results = [None, None]
+        errors = []
+
+        def work(slot):
+            try:
+                results[slot] = cluster.sort(data, MSSpec(), check=True)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results[0].sorted_strings == results[1].sorted_strings == sorted(data)
+        assert (
+            results[0].report.total_bytes_sent
+            == results[1].report.total_bytes_sent
+        )
+
+
+class TestMachineModel:
+    def test_cluster_machine_drives_modeled_time(self):
+        from repro.net.cost_model import MachineModel
+
+        data = random_strings(150, 1, 10, seed=21)
+        slow = Cluster(num_pes=2, machine=MachineModel(alpha=1.0, beta=1.0))
+        fast = Cluster(num_pes=2, machine=MachineModel(alpha=1e-9, beta=1e-12))
+        slow_res = slow.sort(data, MSSpec())
+        fast_res = fast.sort(data, MSSpec())
+        # no explicit model passed: the cluster's own model must apply
+        assert slow_res.modeled_time() > fast_res.modeled_time()
+        # an explicit argument still overrides
+        assert slow_res.modeled_time(fast.machine) == pytest.approx(
+            fast_res.modeled_time()
+        )
+
+
+class TestScopedToggles:
+    def test_packed_setting_is_scoped_to_the_cluster(self):
+        data = dn_instance(num_strings=300, dn=0.5, length=30, seed=5)
+        before = packed_enabled()
+        packed_on = Cluster(num_pes=4, packed=True).sort(data, MSSpec())
+        packed_off = Cluster(num_pes=4, packed=False).sort(data, MSSpec())
+        assert packed_enabled() == before  # restored after each sort
+        assert packed_on.outputs_per_pe == packed_off.outputs_per_pe
+        assert packed_on.lcps_per_pe == packed_off.lcps_per_pe
+        assert (
+            packed_on.report.total_bytes_sent == packed_off.report.total_bytes_sent
+        )
+
+    def test_async_exchange_cluster_overlaps_and_matches_sync(self):
+        data = dn_instance(num_strings=400, dn=0.5, length=40, seed=6)
+        sync = Cluster(num_pes=4, async_exchange=False).sort(data, MSSpec())
+        overlapped = Cluster(num_pes=4, async_exchange=True).sort(data, MSSpec())
+        assert overlapped.overlap_fraction() > 0.0
+        assert sync.overlap_fraction() == 0.0
+        assert overlapped.outputs_per_pe == sync.outputs_per_pe
+        assert overlapped.report.total_bytes_sent == sync.report.total_bytes_sent
+        assert dict(overlapped.report.phase_bytes) == dict(sync.report.phase_bytes)
+
+    def test_none_inherits_process_setting(self):
+        cluster = Cluster(num_pes=2)
+        assert cluster.packed is None and cluster.async_exchange is None
+        data = random_strings(60, 1, 6, seed=7)
+        assert cluster.sort(data, MSSpec(), check=True).sorted_strings == sorted(data)
+
+
+class TestEngineSeam:
+    def test_get_engine_threads(self):
+        assert get_engine("threads") is ThreadEngine
+
+    def test_unknown_engine_lists_available(self):
+        with pytest.raises(ValueError, match="threads"):
+            get_engine("mpi")
+        with pytest.raises(ValueError, match="unknown engine"):
+            Cluster(num_pes=2, engine="mpi4py")
+
+    def test_registered_engine_is_selectable(self):
+        calls = []
+
+        class CountingEngine(ThreadEngine):
+            name = "counting"
+
+            def run(self, *args, **kwargs):
+                calls.append(1)
+                return super().run(*args, **kwargs)
+
+        register_engine("counting", CountingEngine)
+        try:
+            cluster = Cluster(num_pes=2, engine="counting")
+            data = random_strings(40, 1, 6, seed=8)
+            res = cluster.sort(data, MSSpec(), check=True)
+            assert res.sorted_strings == sorted(data)
+            assert calls == [1]
+        finally:
+            ENGINES.pop("counting", None)
+
+
+class TestRegistryExtension:
+    def test_register_and_sort_custom_algorithm(self):
+        @dataclass(frozen=True)
+        class VerifiedMSSpec(MSSpec):
+            algorithm = "ms-verified"
+
+        def runner(comm, local, spec):
+            out, lcps = ms_sort(comm, local, MSConfig(sampling=spec.sampling))
+            return RankOutput(out, lcps, extra={"custom": True})
+
+        reg = default_registry().copy()
+        reg.register("ms-verified", runner, VerifiedMSSpec)
+        assert "ms-verified" in reg and "ms-verified" not in default_registry()
+
+        data = random_strings(150, 1, 10, seed=9)
+        cluster = Cluster(num_pes=3, registry=reg)
+        res = cluster.sort(data, VerifiedMSSpec(), check=True)
+        assert res.algorithm == "ms-verified"
+        assert res.extra["custom"] is True
+        assert res.sorted_strings == sorted(data)
+
+    def test_register_refuses_silent_shadowing(self):
+        reg = default_registry().copy()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("ms", lambda c, l, s: None, MSSpec)
+        reg.register("ms", lambda c, l, s: None, MSSpec, overwrite=True)
+
+    def test_register_validates_inputs(self):
+        reg = AlgorithmRegistry()
+        with pytest.raises(TypeError, match="callable"):
+            reg.register("x", "not-callable", MSSpec)
+        with pytest.raises(TypeError, match="SortSpec"):
+            reg.register("x", lambda c, l, s: None, dict)
+
+    def test_register_algorithm_scoped_registry_helper(self):
+        reg = AlgorithmRegistry()
+        entry = register_algorithm(
+            "only-here", lambda c, l, s: RankOutput([]), HQuickSpec, registry=reg
+        )
+        assert entry.name == "only-here"
+        assert "only-here" in reg
+        assert "only-here" not in default_registry()
+
+
+class TestExtrasAggregation:
+    def test_auto_reports_agreed_choice(self):
+        data = dn_instance(num_strings=300, dn=0.3, length=40, seed=10)
+        res = Cluster(num_pes=4).sort(data, "auto", check=True)
+        assert res.extra["chosen_algorithm"] in ("ms", "pdms-golomb")
+        assert "estimated_dn" in res.extra
+
+    def test_disagreeing_extras_raise(self):
+        @dataclass(frozen=True)
+        class RankStampSpec(MSSpec):
+            algorithm = "rank-stamp"
+
+        def runner(comm, local, spec):
+            return RankOutput(sorted(local), extra={"stamp": comm.rank})
+
+        reg = default_registry().copy()
+        reg.register("rank-stamp", runner, RankStampSpec)
+        with pytest.raises(SpmdError, match="disagree"):
+            Cluster(num_pes=2, registry=reg).sort(
+                [b"a", b"b"], RankStampSpec()
+            )
+
+    def test_legacy_dsort_also_aggregates(self):
+        data = dn_instance(num_strings=200, dn=0.9, length=30, seed=11)
+        res = dsort(data, algorithm="auto", num_pes=3)
+        assert res.extra["chosen_algorithm"] in ("ms", "pdms-golomb")

@@ -1,0 +1,170 @@
+"""Spec serialization contract: round-trips, stable hashes, helpful errors."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.session import (
+    AutoSpec,
+    FKMergeSpec,
+    HQuickSpec,
+    MSSimpleSpec,
+    MSSpec,
+    PDMSGolombSpec,
+    PDMSSpec,
+    SortSpec,
+    default_registry,
+    spec_from_options,
+)
+
+ALL_SPEC_CLASSES = [
+    HQuickSpec,
+    FKMergeSpec,
+    MSSpec,
+    MSSimpleSpec,
+    PDMSSpec,
+    PDMSGolombSpec,
+    AutoSpec,
+]
+
+NON_DEFAULT = {
+    HQuickSpec: dict(local_sorter="timsort", seed=3),
+    FKMergeSpec: dict(oversampling=4, distribute_by="chars"),
+    MSSpec: dict(sampling="character", sample_sort="hquick"),
+    MSSimpleSpec: dict(oversampling=2, local_sorter="multikey_quicksort"),
+    PDMSSpec: dict(epsilon=0.5, initial_length=8),
+    PDMSGolombSpec: dict(epsilon=3.0, sampling="character"),
+    AutoSpec: dict(seed=11, initial_length=4),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec_cls", ALL_SPEC_CLASSES)
+    def test_default_round_trips(self, spec_cls):
+        spec = spec_cls()
+        assert SortSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec_cls", ALL_SPEC_CLASSES)
+    def test_non_default_round_trips(self, spec_cls):
+        spec = spec_cls(**NON_DEFAULT[spec_cls])
+        clone = SortSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.config_hash() == spec.config_hash()
+
+    def test_to_dict_is_json_ready(self):
+        payload = json.dumps(PDMSGolombSpec(epsilon=0.25).to_dict())
+        assert SortSpec.from_dict(json.loads(payload)) == PDMSGolombSpec(epsilon=0.25)
+
+    def test_registry_agrees_with_algorithm_attribute(self):
+        for spec_cls in ALL_SPEC_CLASSES:
+            assert default_registry().spec_class(spec_cls.algorithm) is spec_cls
+
+
+class TestConfigHash:
+    def test_pinned_value(self):
+        """The hash must be stable across processes and releases.
+
+        This pin is the cross-process guarantee: a checkpoint written by one
+        run must be found by the next.  If it ever changes, existing keyed
+        artifacts (benchmark cells, future checkpoints) silently orphan —
+        only change it knowingly.
+        """
+        assert MSSpec().config_hash() == "a3688f7b7ad1aef8"
+        assert PDMSGolombSpec(epsilon=0.5).config_hash() == "1036b39a816a2a7a"
+
+    def test_stable_in_a_fresh_process(self):
+        code = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.session import MSSpec;"
+            "print(MSSpec().config_hash())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == MSSpec().config_hash()
+
+    def test_insensitive_to_dict_key_order(self):
+        d = PDMSSpec(epsilon=0.5).to_dict()
+        shuffled = dict(reversed(list(d.items())))
+        assert SortSpec.from_dict(shuffled).config_hash() == PDMSSpec(
+            epsilon=0.5
+        ).config_hash()
+
+    def test_distinguishes_configurations(self):
+        hashes = {cls().config_hash() for cls in ALL_SPEC_CLASSES}
+        assert len(hashes) == len(ALL_SPEC_CLASSES)
+        assert MSSpec().config_hash() != MSSpec(sampling="character").config_hash()
+
+
+class TestValidation:
+    def test_unknown_key_suggests_nearest_match(self):
+        with pytest.raises(ValueError, match="sampling"):
+            SortSpec.from_dict({"algorithm": "ms", "sampilng": "character"})
+
+    def test_unknown_algorithm_suggests_nearest_match(self):
+        with pytest.raises(ValueError, match="pdms"):
+            SortSpec.from_dict({"algorithm": "pdsm"})
+
+    def test_missing_algorithm_key(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            SortSpec.from_dict({"sampling": "character"})
+
+    def test_bad_field_values_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sampling"):
+            MSSpec(sampling="chars")
+        with pytest.raises(ValueError, match="distribute_by"):
+            MSSpec(distribute_by="characters")
+        with pytest.raises(ValueError, match="epsilon"):
+            PDMSSpec(epsilon=0.0)
+        with pytest.raises(ValueError, match="initial_length"):
+            PDMSSpec(initial_length=0)
+        with pytest.raises(ValueError, match="local_sorter"):
+            HQuickSpec(local_sorter="quicksort")
+        with pytest.raises(ValueError, match="oversampling"):
+            FKMergeSpec(oversampling=0)
+
+    def test_specs_are_frozen(self):
+        spec = MSSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.sampling = "character"
+
+    def test_replace_returns_validated_copy(self):
+        spec = PDMSSpec()
+        other = spec.replace(epsilon=2.0)
+        assert other.epsilon == 2.0 and spec.epsilon == 1.0
+        assert other.config_hash() != spec.config_hash()
+        with pytest.raises(ValueError):
+            spec.replace(epsilon=-1.0)
+
+
+class TestSpecFromOptions:
+    def test_maps_legacy_vocabulary(self):
+        spec = spec_from_options(
+            "pdms-golomb",
+            {"sampling": "character", "epsilon": 0.5, "initial_length": 8},
+            seed=7,
+            distribute_by="chars",
+        )
+        assert spec == PDMSGolombSpec(
+            sampling="character",
+            epsilon=0.5,
+            initial_length=8,
+            seed=7,
+            distribute_by="chars",
+        )
+
+    def test_ignores_inapplicable_options(self):
+        # the facade's historical contract: epsilon means nothing to hquick
+        spec = spec_from_options("hquick", {"epsilon": 0.5, "local_sorter": "timsort"})
+        assert spec == HQuickSpec(local_sorter="timsort")
+
+    def test_unknown_option_suggests_nearest_match(self):
+        with pytest.raises(ValueError, match="sample_sort"):
+            spec_from_options("ms", {"sample_srot": "central"})

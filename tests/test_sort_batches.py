@@ -1,0 +1,142 @@
+"""Streaming batch ingest: laziness, per-batch results, exact merged totals."""
+
+import pytest
+
+from repro.net.metrics import TrafficReport, merge_traffic_reports
+from repro.session import BatchStream, Cluster, MSSpec, PDMSGolombSpec
+from repro.strings.generators import dn_instance, random_strings
+
+
+def _chunks(n_chunks, per_chunk, seed=1):
+    data = random_strings(n_chunks * per_chunk, 1, 12, seed=seed)
+    return [data[i * per_chunk : (i + 1) * per_chunk] for i in range(n_chunks)]
+
+
+class TestSortBatches:
+    def test_each_batch_is_a_full_sort(self):
+        cluster = Cluster(num_pes=3)
+        chunks = _chunks(4, 90)
+        results = list(cluster.sort_batches(chunks, MSSpec(), check=True))
+        assert len(results) == 4
+        for chunk, res in zip(chunks, results):
+            assert res.sorted_strings == sorted(chunk)
+            assert res.num_strings == len(chunk)
+
+    def test_merged_report_equals_sum_of_batches(self):
+        cluster = Cluster(num_pes=4)
+        chunks = _chunks(5, 120, seed=2)
+        stream = cluster.sort_batches(chunks, MSSpec())
+        per_batch = list(stream)
+        merged = stream.merged_report
+
+        assert merged.total_bytes_sent == sum(
+            r.report.total_bytes_sent for r in per_batch
+        )
+        for pe in range(4):
+            assert merged.bytes_sent_per_pe[pe] == sum(
+                r.report.bytes_sent_per_pe[pe] for r in per_batch
+            )
+            assert merged.messages_per_pe[pe] == sum(
+                r.report.messages_per_pe[pe] for r in per_batch
+            )
+            assert merged.chars_inspected_per_pe[pe] == sum(
+                r.report.chars_inspected_per_pe[pe] for r in per_batch
+            )
+        for phase in {p for r in per_batch for p in r.report.phase_bytes}:
+            assert merged.phase_bytes[phase] == sum(
+                r.report.phase_bytes.get(phase, 0) for r in per_batch
+            )
+        assert len(merged.collectives) == sum(
+            len(r.report.collectives) for r in per_batch
+        )
+        assert stream.num_strings == sum(r.num_strings for r in per_batch)
+        assert stream.num_chars == sum(r.num_chars for r in per_batch)
+        assert stream.batches_done == 5
+        assert stream.bytes_per_string() > 0
+
+    def test_ingest_is_lazy(self):
+        pulled = []
+
+        def source():
+            for i, chunk in enumerate(_chunks(3, 50, seed=3)):
+                pulled.append(i)
+                yield chunk
+
+        cluster = Cluster(num_pes=2)
+        stream = cluster.sort_batches(source(), MSSpec())
+        assert pulled == []  # nothing consumed before iteration
+        next(stream)
+        assert pulled == [0]  # exactly one chunk in memory at a time
+        next(stream)
+        assert pulled == [0, 1]
+        stream.run()
+        assert pulled == [0, 1, 2]
+        assert stream.batches_done == 3
+
+    def test_run_drains_and_returns_stream(self):
+        cluster = Cluster(num_pes=2)
+        stream = cluster.sort_batches(_chunks(3, 40, seed=4), "pdms-golomb")
+        assert stream.run() is stream
+        assert stream.batches_done == 3
+        assert stream.merged_report.total_bytes_sent > 0
+        assert isinstance(stream, BatchStream)
+        assert isinstance(stream.spec, PDMSGolombSpec)
+
+    def test_empty_source(self):
+        stream = Cluster(num_pes=3).sort_batches([], MSSpec())
+        assert list(stream) == []
+        assert stream.batches_done == 0
+        assert stream.merged_report.total_bytes_sent == 0
+        assert stream.bytes_per_string() == 0.0
+
+    def test_batches_reuse_the_machine(self):
+        cluster = Cluster(num_pes=3)
+        cluster.sort_batches(_chunks(4, 30, seed=5), MSSpec()).run()
+        assert cluster.engine.state_reuses >= 3
+
+    def test_overlapping_cluster_settings_apply_per_batch(self):
+        chunks = [
+            dn_instance(num_strings=200, dn=0.5, length=30, seed=6)
+            for _ in range(2)
+        ]
+        sync = Cluster(num_pes=3, async_exchange=False)
+        overlapped = Cluster(num_pes=3, async_exchange=True)
+        a = sync.sort_batches(chunks, MSSpec()).run()
+        b = overlapped.sort_batches(chunks, MSSpec()).run()
+        assert a.merged_report.total_bytes_sent == b.merged_report.total_bytes_sent
+        assert b.merged_report.overlap_fraction("exchange") > 0.0
+
+
+class TestMergeTrafficReports:
+    def test_empty_merge_is_zero(self):
+        merged = merge_traffic_reports([])
+        assert merged.total_bytes_sent == 0
+        assert merged.phase_bytes == {}
+
+    def test_single_report_is_identity(self):
+        res = Cluster(num_pes=2).sort(random_strings(60, 1, 8, seed=7), MSSpec())
+        merged = merge_traffic_reports([res.report])
+        assert merged.bytes_sent_per_pe == res.report.bytes_sent_per_pe
+        assert merged.phase_bytes == res.report.phase_bytes
+
+    def test_mismatched_sizes_rejected(self):
+        a = TrafficReport(
+            num_pes=1,
+            bytes_sent_per_pe=[0],
+            bytes_received_per_pe=[0],
+            messages_per_pe=[0],
+            phase_bytes={},
+            chars_inspected_per_pe=[0],
+            items_processed_per_pe=[0],
+        )
+        b = TrafficReport(
+            num_pes=2,
+            bytes_sent_per_pe=[0, 0],
+            bytes_received_per_pe=[0, 0],
+            messages_per_pe=[0, 0],
+            phase_bytes={},
+            chars_inspected_per_pe=[0, 0],
+            items_processed_per_pe=[0, 0],
+        )
+        with pytest.raises(ValueError, match="different sizes"):
+            merge_traffic_reports([a, b])
