@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the bucket exchange split-phase (overlaps merge preparation "
         "with delivery; outputs and wire bytes are bit-identical)",
     )
+    p_sort.add_argument(
+        "--exchange-topology", choices=("direct", "hypercube", "grid"),
+        default=None,
+        help="bucket all-to-all delivery strategy: direct (default), or "
+        "multi-level routed delivery (hypercube: log2(p) rounds, grid: "
+        "row+column phases); outputs and origin wire bytes are identical, "
+        "forwarded routing bytes are reported separately",
+    )
 
     p_alg = sub.add_parser(
         "algorithms", help="list the algorithm registry and the spec knobs"
@@ -173,6 +181,7 @@ def _cmd_sort(args) -> int:
     cluster = Cluster(
         num_pes=args.num_pes,
         async_exchange=True if args.async_exchange else None,
+        exchange_topology=args.exchange_topology,
     )
     result = cluster.sort(data, spec, check=args.check)
     report = result.report
@@ -182,6 +191,19 @@ def _cmd_sort(args) -> int:
     print(f"strings / chars    : {result.num_strings} / {result.num_chars}")
     print(f"input D/N          : {dn_ratio(data):.3f}")
     print(f"total bytes sent   : {report.total_bytes_sent}")
+    if report.forwarded_bytes > 0:
+        from .dist.exchange import exchange_topology_name
+
+        # precedence mirrors the exchange itself: spec field, then the
+        # cluster-level flag, then the process-wide setting
+        topology = (
+            getattr(spec, "exchange_topology", None)
+            or args.exchange_topology
+            or exchange_topology_name()
+        )
+        print(f"origin bytes       : {report.origin_bytes_sent}")
+        print(f"forwarded bytes    : {report.forwarded_bytes} "
+              f"(multi-level routing, {topology})")
     print(f"bytes per string   : {result.bytes_per_string():.2f}")
     print(f"modelled time      : {result.modeled_time(DEFAULT_MACHINE):.3e} s")
     print(f"bytes by phase     : {dict(report.phase_bytes)}")

@@ -37,8 +37,11 @@ from .exchange import (
     async_exchange_enabled,
     exchange_buckets,
     exchange_buckets_async,
+    exchange_topology_name,
     set_async_exchange,
+    set_exchange_topology,
     use_async_exchange,
+    use_exchange_topology,
 )
 from .prefix_doubling import PrefixDoublingResult, approximate_dist_prefixes
 
@@ -48,6 +51,9 @@ __all__ = [
     "exchange_buckets_async",
     "set_async_exchange",
     "use_async_exchange",
+    "exchange_topology_name",
+    "set_exchange_topology",
+    "use_exchange_topology",
     "ALGORITHMS",
     "DSortResult",
     "MSConfig",

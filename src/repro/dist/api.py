@@ -90,6 +90,9 @@ class MSConfig:
     oversampling: Optional[int] = None
     lcp_compression: bool = True        # Step 3 front coding
     lcp_merge: bool = True              # Step 4 LCP loser tree
+    # bucket-delivery strategy ("direct" | "hypercube" | "grid"); None
+    # inherits the process/cluster setting (REPRO_EXCHANGE_TOPOLOGY)
+    exchange_topology: Optional[str] = None
 
 
 @dataclass
@@ -103,6 +106,8 @@ class PDMSConfig:
     epsilon: float = 1.0                # prefix growth factor (1 + epsilon)
     initial_length: int = 16
     golomb: bool = False
+    # bucket-delivery strategy; None inherits the process/cluster setting
+    exchange_topology: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -227,7 +232,10 @@ def _exchange(comm: Communicator, buckets, **kwargs):
     flight, which is where the recorded overlap comes from.  The returned
     list is indexed by source PE either way, so the downstream merge — and
     therefore the sorted output, LCP arrays and traffic accounting — is
-    bit-identical across both paths.
+    bit-identical across both paths.  The ``topology`` keyword (a config's
+    ``exchange_topology``, usually ``None`` = inherit the process/cluster
+    setting) selects direct or multi-level routed delivery; it changes the
+    measured routing volume, never the decoded runs.
     """
     if not async_exchange_enabled():
         return exchange_buckets(comm, buckets, **kwargs)
@@ -257,6 +265,7 @@ def ms_sort(
         buckets,
         lcp_compression=config.lcp_compression,
         ship_lcps=config.lcp_merge,
+        topology=config.exchange_topology,
     )
     with comm.phase("merge"):
         stats = CharStats()
@@ -277,6 +286,7 @@ def fkmerge_sort(
     strings: Sequence[bytes],
     oversampling: Optional[int] = None,
     local_sorter: str = "msd_radix",
+    exchange_topology: Optional[str] = None,
 ) -> Tuple[List[bytes], None]:
     """The FKmerge baseline: centralised sample sort, atomic multiway merge.
 
@@ -297,7 +307,11 @@ def fkmerge_sort(
     buckets = split_into_buckets(local_view, lcps_view, splitters)
     # the baseline has no LCP machinery on the wire: strings travel verbatim
     received = _exchange(
-        comm, buckets, lcp_compression=False, ship_lcps=False
+        comm,
+        buckets,
+        lcp_compression=False,
+        ship_lcps=False,
+        topology=exchange_topology,
     )
     with comm.phase("merge"):
         stats = CharStats()
@@ -357,7 +371,11 @@ def pdms_sort(
         starts.append(start)
         start += len(bucket_strings)
     received = _exchange(
-        comm, buckets, lcp_compression=True, payloads=starts
+        comm,
+        buckets,
+        lcp_compression=True,
+        payloads=starts,
+        topology=config.exchange_topology,
     )
 
     with comm.phase("merge"):

@@ -41,6 +41,15 @@ from ..mpi.serialization import (
     varint_total,
     wire_size,
 )
+from ..net.router import (
+    ExchangeTopology,
+    exchange_topology_name,
+    resolve_topology,
+    routed_exchange,
+    routed_exchange_iter,
+    set_exchange_topology,
+    use_exchange_topology,
+)
 from ..strings.lcp import lcp_array
 from ..strings.packed import (
     PackedStringArray,
@@ -57,6 +66,9 @@ __all__ = [
     "async_exchange_enabled",
     "set_async_exchange",
     "use_async_exchange",
+    "exchange_topology_name",
+    "set_exchange_topology",
+    "use_exchange_topology",
 ]
 
 # tag base for the split-phase exchange, outside the ranges hquick claims
@@ -277,6 +289,7 @@ def exchange_buckets(
     lcp_compression: bool = False,
     payloads: Optional[Sequence[Any]] = None,
     ship_lcps: bool = True,
+    topology: Union[str, ExchangeTopology, None] = None,
 ):
     """Deliver bucket ``j`` to PE ``j``; return the received runs.
 
@@ -294,17 +307,31 @@ def exchange_buckets(
     machinery on the wire (FKmerge, MS-simple) pass ``ship_lcps=False`` to
     keep their message format — and their measured traffic — faithful to the
     paper; their receivers then recompute the LCP arrays locally.
+
+    ``topology`` selects the delivery strategy (Section II): ``"direct"``
+    (one message per destination — the default), ``"hypercube"`` or
+    ``"grid"`` (multi-level store-and-forward routing through
+    :mod:`repro.net.router`), or ``None`` to inherit the process-wide
+    setting (``REPRO_EXCHANGE_TOPOLOGY`` /
+    :func:`use_exchange_topology`, scoped per session by
+    :class:`repro.session.Cluster`).  Routing changes startup counts and the
+    measured total volume (forwarded bytes are attributed separately) but
+    never the decoded runs or the origin wire bytes.
     """
     _validate_buckets(comm, buckets, payloads)
+    topo = resolve_topology(topology)
 
     with comm.phase("exchange"):
         blocks = _encode_blocks(buckets, lcp_compression, ship_lcps)
         if payloads is None:
-            received = comm.alltoall(blocks)
+            messages: List[Any] = list(blocks)
         else:
-            received = comm.alltoall(
-                [(blk, pay) for blk, pay in zip(blocks, payloads)]
-            )
+            messages = [(blk, pay) for blk, pay in zip(blocks, payloads)]
+        if topo.is_direct:
+            received = comm.alltoall(messages)
+        else:
+            sizes = [wire_size(m) for m in messages]
+            received = routed_exchange(comm, topo, messages, sizes)
 
         out = []
         decoded_chars = 0
@@ -328,6 +355,7 @@ def exchange_buckets_async(
     lcp_compression: bool = False,
     payloads: Optional[Sequence[Any]] = None,
     ship_lcps: bool = True,
+    topology: Union[str, ExchangeTopology, None] = None,
 ) -> Iterator[Tuple]:
     """Split-phase twin of :func:`exchange_buckets`: yield runs as they land.
 
@@ -354,8 +382,21 @@ def exchange_buckets_async(
     The generator must be exhausted (all ranks reach the epilogue at the
     same SPMD program point); abandoning it mid-exchange deadlocks the run
     like any skipped collective would.
+
+    ``topology`` works exactly as in :func:`exchange_buckets`; under a
+    multi-level topology the deliveries are driven by
+    :func:`repro.net.router.routed_exchange_iter`, which yields runs as
+    their frames reach this rank (arrivals are spread over the routing
+    rounds), with the same decoded contents and wire accounting as the
+    blocking routed path.
     """
     _validate_buckets(comm, buckets, payloads)
+    topo = resolve_topology(topology)
+    if not topo.is_direct:
+        yield from _routed_exchange_async(
+            comm, topo, buckets, lcp_compression, payloads, ship_lcps
+        )
+        return
 
     with comm.phase("exchange"):
         window_start = time.perf_counter()
@@ -422,3 +463,45 @@ def exchange_buckets_async(
         comm.record_overlap(overlapped, window)
         my_total = sum(sz for dst, sz in enumerate(sizes) if dst != comm.rank)
         comm.record_exchange_collective(my_total, overlap_fraction=fraction)
+
+
+def _routed_exchange_async(
+    comm: Communicator,
+    topo: ExchangeTopology,
+    buckets: Sequence[Tuple[Strings, Lcps]],
+    lcp_compression: bool,
+    payloads: Optional[Sequence[Any]],
+    ship_lcps: bool,
+) -> Iterator[Tuple]:
+    """Split-phase twin of the routed exchange (multi-level topologies).
+
+    Encodes like the direct paths, hands delivery to
+    :func:`repro.net.router.routed_exchange_iter` and decodes each run the
+    moment its frames reach this rank — the decode (and whatever the caller
+    does before pulling the next run) happens between the router's yields,
+    which is exactly the window the router meters as overlap.
+    """
+    with comm.phase("exchange"):
+        blocks = _encode_blocks(buckets, lcp_compression, ship_lcps)
+        if payloads is None:
+            messages: List[Any] = list(blocks)
+        else:
+            messages = [(blk, pay) for blk, pay in zip(blocks, payloads)]
+        sizes = [wire_size(m) for m in messages]
+
+        decoded_chars = 0
+        decoded_items = 0
+        for src, message in routed_exchange_iter(comm, topo, messages, sizes):
+            if payloads is None:
+                block, payload = message, None
+            else:
+                block, payload = message
+            strings, lcps = block.decode()
+            decoded_chars += sum(len(s) for s in strings)
+            decoded_items += len(strings)
+            yield (
+                (src, strings, lcps)
+                if payloads is None
+                else (src, strings, lcps, payload)
+            )
+        comm.record_local_work(decoded_chars, decoded_items)

@@ -148,17 +148,35 @@ class Communicator:
         """
 
     def record_exchange_collective(
-        self, nbytes: int, overlap_fraction: float = 0.0, hypercube: bool = False
+        self,
+        nbytes: int,
+        overlap_fraction: float = 0.0,
+        hypercube: bool = False,
+        kind: Optional[str] = None,
     ) -> None:
         """Record a split-phase all-to-all as one collective cost-model event.
 
-        Every rank passes the total bytes it sent to *other* ranks; the
-        backend agrees on the bottleneck volume (and the mean overlap
-        fraction) and records a single ``alltoall`` event, exactly mirroring
-        what the blocking :meth:`alltoall` records — so the modelled time of
-        a split-phase exchange differs from the blocking one only by the
-        overlap credit.  Must be called by all ranks at the same program
-        point (it may synchronise internally).
+        Every rank passes the total bytes it sent to *other* ranks (the
+        **origin** volume — routed deliveries account their forwarding
+        overhead separately, see :meth:`record_route`); the backend agrees
+        on the bottleneck volume (and the mean overlap fraction) and records
+        a single event, exactly mirroring what the blocking
+        :meth:`alltoall` records — so the modelled time of a split-phase
+        exchange differs from the blocking one only by the overlap credit.
+        ``kind`` names the event explicitly (``"alltoall-hypercube"``,
+        ``"alltoall-grid"``, ...); without it the legacy ``hypercube`` flag
+        picks between the two historical kinds.  Must be called by all
+        ranks at the same program point (it may synchronise internally).
+        """
+
+    def record_route(self, route: str, nbytes: int, forwarded: int) -> None:
+        """Attribute one routed-delivery batch this rank sent.
+
+        ``nbytes`` is the batch's full wire size (the send itself is
+        recorded separately — this is attribution, not double counting) and
+        ``forwarded`` the routing-overhead part: relayed payloads plus
+        frame headers.  ``route`` labels the routing phase.  Backends
+        without a meter may ignore the call.
         """
 
     # ------------------------------------------------------------------ point-to-point

@@ -241,7 +241,11 @@ class ThreadComm(Communicator):
         self._state.meter.record_overlap(self.rank, self._phase, overlapped, window)
 
     def record_exchange_collective(
-        self, nbytes: int, overlap_fraction: float = 0.0, hypercube: bool = False
+        self,
+        nbytes: int,
+        overlap_fraction: float = 0.0,
+        hypercube: bool = False,
+        kind: Optional[str] = None,
     ) -> None:
         """Agree on and record one all-to-all event for a split-phase exchange."""
         # agree on the bottleneck volume exactly like the blocking alltoall
@@ -249,7 +253,8 @@ class ThreadComm(Communicator):
         # record the one collective event the cost model sees
         stats = self._board_exchange((int(nbytes), float(overlap_fraction)))
         if self.rank == 0:
-            kind = "alltoall-hypercube" if hypercube else "alltoall"
+            if kind is None:
+                kind = "alltoall-hypercube" if hypercube else "alltoall"
             self._state.meter.record_collective(
                 kind,
                 max(b for b, _ in stats),
@@ -257,6 +262,10 @@ class ThreadComm(Communicator):
                 self._phase,
                 overlap_fraction=sum(f for _, f in stats) / len(stats),
             )
+
+    def record_route(self, route: str, nbytes: int, forwarded: int) -> None:
+        """Attribute one routed batch (full wire size + forwarded share)."""
+        self._state.meter.record_route(self.rank, route, nbytes, forwarded)
 
     # ------------------------------------------------------------------ low-level sync
     def _barrier_wait(self) -> None:

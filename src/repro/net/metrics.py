@@ -9,7 +9,11 @@ per PE and per named phase,
 * a log of collective operations (kind, per-PE bottleneck bytes) so the
   benchmark harness can apply the alpha-beta formulas of
   :class:`repro.net.cost_model.MachineModel`,
-* character-inspection counts contributed by the local sorting/merging steps.
+* character-inspection counts contributed by the local sorting/merging steps,
+* routed-delivery attribution (:mod:`repro.net.router`): per-PE *forwarded*
+  bytes — relay payloads plus frame headers, charged on top of the origin
+  volume — and per-route-phase byte totals, so the ``log p`` volume
+  inflation of multi-level delivery is measured, not assumed.
 
 The meter is written to from many rank threads concurrently; a single lock
 protects all mutation (the operations are tiny compared to the work they
@@ -68,12 +72,42 @@ class TrafficReport:
     # non-blocking receive was outstanding, and the summed window durations
     overlap_seconds: Dict[str, float] = field(default_factory=dict)
     overlap_window_seconds: Dict[str, float] = field(default_factory=dict)
+    # routed multi-level delivery: bytes each PE sent on behalf of *other*
+    # origins (relay payloads + frame headers), and bytes per route phase
+    # (e.g. "hypercube-dim0", "grid-rows"); both zero under direct delivery
+    forwarded_bytes_per_pe: List[int] = field(default_factory=list)
+    route_bytes: Dict[str, int] = field(default_factory=dict)
+    # bytes-weighted overlap accumulators, populated only when reports are
+    # merged: sum of (fraction x phase bytes) and sum of phase bytes over
+    # the folded inputs (see fold_traffic_report)
+    overlap_weighted: Dict[str, float] = field(default_factory=dict)
+    overlap_weight: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate helpers ---------------------------------------------------------
     @property
     def total_bytes_sent(self) -> int:
-        """Bytes sent summed over all PEs (the paper's communication volume)."""
+        """Bytes sent summed over all PEs (origin volume + routing overhead)."""
         return sum(self.bytes_sent_per_pe)
+
+    @property
+    def forwarded_bytes(self) -> int:
+        """Routing overhead summed over all PEs (relay payloads + frame headers).
+
+        Zero under direct delivery; under multi-level delivery this is the
+        measured volume inflation the cost model's indirect formulas assume.
+        """
+        return sum(self.forwarded_bytes_per_pe)
+
+    @property
+    def origin_bytes_sent(self) -> int:
+        """The paper's communication-volume metric: bytes injected at origins.
+
+        Every bucket leaves its origin exactly once regardless of delivery
+        strategy, so this equals ``total_bytes_sent`` under direct delivery
+        and is **bit-identical across exchange topologies** (pinned by
+        ``tests/test_exchange_topologies.py``).
+        """
+        return self.total_bytes_sent - self.forwarded_bytes
 
     @property
     def max_bytes_sent(self) -> int:
@@ -89,10 +123,18 @@ class TrafficReport:
     def overlap_fraction(self, phase: str = "exchange") -> float:
         """Fraction of ``phase``'s split-phase windows spent computing.
 
-        Computed over all ranks: summed compute-while-receiving seconds
-        divided by summed window seconds.  0.0 when the phase never ran a
-        split-phase (asynchronous) operation.
+        For a single run: summed compute-while-receiving seconds over all
+        ranks divided by summed window seconds.  For a *merged* report
+        (:func:`merge_traffic_reports`): the bytes-weighted average of the
+        constituent runs' fractions — a run that moved twice the bytes
+        counts twice, and fully synchronous runs count with fraction 0 —
+        so the cost-model credit of a batch stream reflects how much of
+        its *traffic* was overlapped, not wall-clock accidents.  0.0 when
+        the phase never ran a split-phase (asynchronous) operation.
         """
+        weight = self.overlap_weight.get(phase, 0.0)
+        if weight > 0.0:
+            return min(1.0, self.overlap_weighted.get(phase, 0.0) / weight)
         window = self.overlap_window_seconds.get(phase, 0.0)
         if window <= 0.0:
             return 0.0
@@ -123,6 +165,10 @@ class TrafficReport:
                 total += machine.alltoall_hypercube(
                     ev.max_bytes_per_pe, ev.num_pes, ev.overlap_fraction
                 )
+            elif ev.kind == "alltoall-grid":
+                total += machine.alltoall_grid(
+                    ev.max_bytes_per_pe, ev.num_pes, ev.overlap_fraction
+                )
             elif ev.kind == "barrier":
                 total += machine.broadcast(0, ev.num_pes)
             elif ev.kind == "p2p-round":
@@ -150,9 +196,15 @@ _PER_PE_FIELDS = (
     "messages_per_pe",
     "chars_inspected_per_pe",
     "items_processed_per_pe",
+    "forwarded_bytes_per_pe",
 )
 
-_PHASE_DICT_FIELDS = ("phase_bytes", "overlap_seconds", "overlap_window_seconds")
+_PHASE_DICT_FIELDS = (
+    "phase_bytes",
+    "overlap_seconds",
+    "overlap_window_seconds",
+    "route_bytes",
+)
 
 
 def zero_traffic_report(num_pes: int) -> "TrafficReport":
@@ -165,19 +217,26 @@ def zero_traffic_report(num_pes: int) -> "TrafficReport":
         phase_bytes={},
         chars_inspected_per_pe=[0] * num_pes,
         items_processed_per_pe=[0] * num_pes,
+        forwarded_bytes_per_pe=[0] * num_pes,
     )
 
 
 def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> None:
-    """Add ``report``'s counters into ``target`` **in place** (exact sums).
+    """Add ``report``'s counters into ``target`` **in place**.
 
     The single definition of the report-merge contract: per-PE
-    byte/message/work counters and per-phase byte/overlap dicts add
-    element-wise, collective events concatenate (so the cost model charges
-    every run's collectives).  Used by :func:`merge_traffic_reports` and by
-    the streaming accumulator of
-    :class:`repro.session.stream.BatchStream` (which folds batch by batch
-    instead of re-merging the growing cumulative report).
+    byte/message/work/forwarded counters and per-phase byte/route/overlap
+    dicts add element-wise (exact sums), collective events concatenate (so
+    the cost model charges every run's collectives), and the overlap
+    *fraction* combines as a **bytes-weighted average**: each folded
+    report contributes ``overlap_fraction(phase) x phase_bytes[phase]``, so
+    a fully synchronous batch dilutes the merged fraction in proportion to
+    the traffic it moved — it is neither dropped (which would leave
+    whatever the first overlapped report carried) nor averaged by
+    wall-clock windows (which would let a slow small batch outvote a fast
+    large one).  Used by :func:`merge_traffic_reports` and by the streaming
+    accumulator of :class:`repro.session.stream.BatchStream` (which folds
+    batch by batch instead of re-merging the growing cumulative report).
     """
     if report.num_pes != target.num_pes:
         raise ValueError(
@@ -186,12 +245,41 @@ def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> Non
         )
     for attr in _PER_PE_FIELDS:
         totals = getattr(target, attr)
-        for pe, v in enumerate(getattr(report, attr)):
+        values = getattr(report, attr)
+        if len(totals) < len(values):
+            # hand-built reports may omit optional per-PE lists; treat the
+            # missing slots as zeros on the accumulator side
+            totals.extend([0] * (len(values) - len(totals)))
+        for pe, v in enumerate(values):
             totals[pe] += v
     for attr in _PHASE_DICT_FIELDS:
         totals = getattr(target, attr)
         for phase, value in getattr(report, attr).items():
             totals[phase] = totals.get(phase, 0) + value
+    if report.overlap_weight:
+        # already-merged input: its weighted sums fold associatively
+        for phase, value in report.overlap_weighted.items():
+            target.overlap_weighted[phase] = (
+                target.overlap_weighted.get(phase, 0.0) + value
+            )
+        for phase, value in report.overlap_weight.items():
+            target.overlap_weight[phase] = (
+                target.overlap_weight.get(phase, 0.0) + value
+            )
+    else:
+        # leaf (single-run) input: weight its fraction by the bytes the
+        # phase moved; a phase with traffic but no split-phase window
+        # contributes fraction 0 at full weight
+        for phase, nbytes in report.phase_bytes.items():
+            if nbytes <= 0:
+                continue
+            fraction = report.overlap_fraction(phase)
+            target.overlap_weighted[phase] = (
+                target.overlap_weighted.get(phase, 0.0) + fraction * nbytes
+            )
+            target.overlap_weight[phase] = (
+                target.overlap_weight.get(phase, 0.0) + nbytes
+            )
     target.collectives.extend(report.collectives)
 
 
@@ -225,6 +313,8 @@ class TrafficMeter:
         self._phases: Dict[int, str] = {}
         self._overlap: Dict[str, float] = defaultdict(float)
         self._overlap_window: Dict[str, float] = defaultdict(float)
+        self._forwarded = [0] * num_pes
+        self._route_bytes: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ phases
     def set_phase(self, rank: int, phase: str) -> None:
@@ -277,6 +367,21 @@ class TrafficMeter:
             self._overlap[phase] += max(0.0, overlapped)
             self._overlap_window[phase] += max(0.0, window)
 
+    def record_route(
+        self, rank: int, route: str, nbytes: int, forwarded: int
+    ) -> None:
+        """Attribute one routed-delivery batch sent by ``rank``.
+
+        ``nbytes`` is the batch's full wire size (already recorded as a
+        normal send by the communicator — this call only *attributes*, it
+        never double-counts), ``forwarded`` the part that is routing
+        overhead: relayed payloads plus frame headers.  ``route`` labels the
+        routing phase (e.g. ``"hypercube-dim1"``, ``"grid-rows"``).
+        """
+        with self._lock:
+            self._forwarded[rank] += forwarded
+            self._route_bytes[route] += nbytes
+
     def record_collective(
         self,
         kind: str,
@@ -312,4 +417,6 @@ class TrafficMeter:
                 collectives=list(self._collectives),
                 overlap_seconds=dict(self._overlap),
                 overlap_window_seconds=dict(self._overlap_window),
+                forwarded_bytes_per_pe=list(self._forwarded),
+                route_bytes=dict(self._route_bytes),
             )

@@ -1,14 +1,16 @@
-"""Hypercube topology helpers used by ``hQuick`` (Section IV).
+"""Hypercube and grid topology helpers (Sections II and IV).
 
 ``hQuick`` logically arranges ``2^d`` PEs (with ``d = floor(log2 p)``) as a
-``d``-dimensional hypercube and works on shrinking subcubes.  The helpers
+``d``-dimensional hypercube and works on shrinking subcubes; the routed
+multi-level all-to-all of :mod:`repro.net.router` reuses the same rank
+arithmetic and adds a two-level ``r x c`` grid factorisation.  The helpers
 here are pure functions on rank numbers so they can be unit-tested without a
 running communicator.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 __all__ = [
     "hypercube_dimension",
@@ -17,6 +19,8 @@ __all__ = [
     "subcube_members",
     "subcube_root",
     "in_upper_half",
+    "is_power_of_two",
+    "grid_dims",
 ]
 
 
@@ -58,3 +62,25 @@ def subcube_members(rank: int, dim: int) -> List[int]:
 def subcube_root(rank: int, dim: int) -> int:
     """Smallest rank of the ``dim``-dimensional subcube containing ``rank``."""
     return rank & ~((1 << dim) - 1)
+
+
+def is_power_of_two(num_pes: int) -> bool:
+    """Whether ``num_pes`` is an exact power of two (hypercube routing needs it)."""
+    return num_pes > 0 and num_pes & (num_pes - 1) == 0
+
+
+def grid_dims(num_pes: int) -> Tuple[int, int]:
+    """The ``(rows, cols)`` factorisation used by the two-level grid all-to-all.
+
+    ``rows`` is the largest divisor of ``num_pes`` not exceeding
+    ``sqrt(num_pes)``, so the grid is as square as the factorisation allows
+    and ``rows <= cols`` always holds.  Prime ``num_pes`` degenerates to a
+    ``1 x p`` grid, whose row phase *is* direct delivery (the documented
+    fallback of :class:`repro.net.router.GridTopology`).
+    """
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    rows = int(num_pes ** 0.5)
+    while rows > 1 and num_pes % rows:
+        rows -= 1
+    return rows, num_pes // rows

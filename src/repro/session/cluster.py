@@ -26,7 +26,8 @@ from contextlib import ExitStack, contextmanager
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..dist.api import DSortResult, RankOutput, distribute_strings
-from ..dist.exchange import use_async_exchange
+from ..dist.exchange import use_async_exchange, use_exchange_topology
+from ..net.router import TOPOLOGY_NAMES
 from ..mpi.comm import Communicator
 from ..mpi.engine import SpmdError, get_engine
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
@@ -90,6 +91,15 @@ class Cluster:
         off for sorts on this cluster, ``None`` (default) inherits the
         process-level setting (``REPRO_PACKED`` / ``REPRO_ASYNC_EXCHANGE``).
         Neither affects sorted outputs, LCP arrays or wire bytes.
+    exchange_topology:
+        Per-cluster delivery strategy of the bucket all-to-all:
+        ``"direct"``, ``"hypercube"`` or ``"grid"``
+        (:mod:`repro.net.router`); ``None`` (default) inherits the
+        process-level ``REPRO_EXCHANGE_TOPOLOGY`` setting.  A spec whose
+        own ``exchange_topology`` field is set overrides the cluster for
+        that sort.  Routing changes startup counts and measured total
+        volume (forwarded bytes are attributed separately), never sorted
+        outputs, LCP arrays or origin wire bytes.
     timeout:
         Deadlock-detection timeout per blocking operation, in seconds.
     registry:
@@ -105,15 +115,22 @@ class Cluster:
         engine: str = "threads",
         packed: Optional[bool] = None,
         async_exchange: Optional[bool] = None,
+        exchange_topology: Optional[str] = None,
         timeout: float = 600.0,
         registry: Optional[AlgorithmRegistry] = None,
     ):
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
+        if exchange_topology is not None and exchange_topology not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"unknown exchange_topology {exchange_topology!r}; "
+                f"use one of {list(TOPOLOGY_NAMES)} or None to inherit"
+            )
         self.num_pes = num_pes
         self.machine = machine
         self.packed = packed
         self.async_exchange = async_exchange
+        self.exchange_topology = exchange_topology
         self.timeout = timeout
         self.registry = registry if registry is not None else default_registry()
         self.engine_name = engine
@@ -146,6 +163,8 @@ class Cluster:
                 stack.enter_context(use_packed(self.packed))
             if self.async_exchange is not None:
                 stack.enter_context(use_async_exchange(self.async_exchange))
+            if self.exchange_topology is not None:
+                stack.enter_context(use_exchange_topology(self.exchange_topology))
             yield
 
     def _resolve_spec(

@@ -160,6 +160,7 @@ def _ms_config(spec: SampledSpecLike, lcp: bool) -> MSConfig:
         oversampling=spec.oversampling,
         lcp_compression=lcp,
         lcp_merge=lcp,
+        exchange_topology=spec.exchange_topology,
     )
 
 
@@ -172,6 +173,7 @@ def _pdms_config(spec: PDMSSpec, golomb: bool) -> PDMSConfig:
         epsilon=spec.epsilon,
         initial_length=spec.initial_length,
         golomb=golomb,
+        exchange_topology=spec.exchange_topology,
     )
 
 
@@ -184,7 +186,11 @@ def _run_hquick(comm: Communicator, local, spec: HQuickSpec) -> RankOutput:
 
 def _run_fkmerge(comm: Communicator, local, spec: FKMergeSpec) -> RankOutput:
     out, _ = fkmerge_sort(
-        comm, local, oversampling=spec.oversampling, local_sorter=spec.local_sorter
+        comm,
+        local,
+        oversampling=spec.oversampling,
+        local_sorter=spec.local_sorter,
+        exchange_topology=spec.exchange_topology,
     )
     return RankOutput(out, None)
 

@@ -79,6 +79,15 @@ class SortSpec:
     seed:
         Randomisation seed (hQuick pivots, D/N estimation); never affects
         the sorted output.
+    exchange_topology:
+        Delivery strategy of the bucket all-to-all (Section II):
+        ``"direct"`` (one message per destination), ``"hypercube"`` or
+        ``"grid"`` (multi-level store-and-forward routing through
+        :mod:`repro.net.router`), or ``None`` (default) to inherit the
+        process/cluster setting (``REPRO_EXCHANGE_TOPOLOGY`` /
+        ``Cluster(exchange_topology=...)``).  Changes startup counts and
+        measured routing volume, never the sorted output or the origin
+        wire bytes.
     """
 
     #: the registry name of the algorithm this spec configures
@@ -87,9 +96,11 @@ class SortSpec:
     local_sorter: str = "msd_radix"
     distribute_by: str = "strings"
     seed: int = 0
+    exchange_topology: Optional[str] = None
 
     def __post_init__(self) -> None:
         """Validate field values (all specs are checked at construction)."""
+        from ..net.router import TOPOLOGY_NAMES
         from ..sequential import SEQUENTIAL_SORTERS
 
         if self.local_sorter not in SEQUENTIAL_SORTERS:
@@ -105,6 +116,15 @@ class SortSpec:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError(f"seed must be an int, got {self.seed!r}")
+        if (
+            self.exchange_topology is not None
+            and self.exchange_topology not in TOPOLOGY_NAMES
+        ):
+            raise ValueError(
+                f"unknown exchange_topology {self.exchange_topology!r}"
+                f"{_suggest(self.exchange_topology, TOPOLOGY_NAMES)}; "
+                f"use one of {list(TOPOLOGY_NAMES)} or None to inherit"
+            )
 
     # ------------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:
@@ -284,6 +304,7 @@ LEGACY_OPTIONS = frozenset(
         "oversampling",
         "epsilon",
         "initial_length",
+        "exchange_topology",
     }
 )
 

@@ -69,11 +69,13 @@ class TestConfigHash:
 
         This pin is the cross-process guarantee: a checkpoint written by one
         run must be found by the next.  If it ever changes, existing keyed
-        artifacts (benchmark cells, future checkpoints) silently orphan —
-        only change it knowingly.
+        artifacts (benchmark cells, checkpoints) silently orphan — only
+        change it knowingly.  Changed knowingly in PR 5: every spec gained
+        the ``exchange_topology`` field, which participates in the hash so
+        routed-delivery cells never alias direct-delivery checkpoints.
         """
-        assert MSSpec().config_hash() == "a3688f7b7ad1aef8"
-        assert PDMSGolombSpec(epsilon=0.5).config_hash() == "1036b39a816a2a7a"
+        assert MSSpec().config_hash() == "de27335cc4bf64f4"
+        assert PDMSGolombSpec(epsilon=0.5).config_hash() == "2728ca969e3b82d1"
 
     def test_stable_in_a_fresh_process(self):
         code = (
@@ -102,6 +104,20 @@ class TestConfigHash:
         assert len(hashes) == len(ALL_SPEC_CLASSES)
         assert MSSpec().config_hash() != MSSpec(sampling="character").config_hash()
 
+    def test_exchange_topology_participates_in_hash(self):
+        """Routed-delivery cells must never alias direct-delivery checkpoints."""
+        inherit = MSSpec()
+        assert (
+            inherit.config_hash()
+            != MSSpec(exchange_topology="hypercube").config_hash()
+        )
+        assert (
+            MSSpec(exchange_topology="hypercube").config_hash()
+            != MSSpec(exchange_topology="grid").config_hash()
+        )
+        roundtrip = MSSpec.from_dict(MSSpec(exchange_topology="grid").to_dict())
+        assert roundtrip.exchange_topology == "grid"
+
 
 class TestValidation:
     def test_unknown_key_suggests_nearest_match(self):
@@ -129,6 +145,8 @@ class TestValidation:
             HQuickSpec(local_sorter="quicksort")
         with pytest.raises(ValueError, match="oversampling"):
             FKMergeSpec(oversampling=0)
+        with pytest.raises(ValueError, match="exchange_topology"):
+            MSSpec(exchange_topology="hypercubes")
 
     def test_specs_are_frozen(self):
         spec = MSSpec()

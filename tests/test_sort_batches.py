@@ -119,6 +119,75 @@ class TestMergeTrafficReports:
         assert merged.bytes_sent_per_pe == res.report.bytes_sent_per_pe
         assert merged.phase_bytes == res.report.phase_bytes
 
+    def test_overlap_fraction_merges_bytes_weighted(self):
+        """Regression: the merged overlap fraction is the bytes-weighted
+        average of the inputs' fractions — not whatever the first report
+        carried, and not a wall-clock-window average."""
+
+        def leaf(nbytes, overlap_s, window_s):
+            report = TrafficReport(
+                num_pes=2,
+                bytes_sent_per_pe=[nbytes, 0],
+                bytes_received_per_pe=[0, nbytes],
+                messages_per_pe=[1, 0],
+                phase_bytes={"exchange": nbytes},
+                chars_inspected_per_pe=[0, 0],
+                items_processed_per_pe=[0, 0],
+                forwarded_bytes_per_pe=[0, 0],
+            )
+            report.overlap_seconds = {"exchange": overlap_s}
+            report.overlap_window_seconds = {"exchange": window_s}
+            return report
+
+        # fractions 0.8 (tiny run, huge slow window) and 0.1 (big fast run):
+        # a window-weighted average would give ~0.73, first-report carry 0.8
+        a = leaf(nbytes=100, overlap_s=8.0, window_s=10.0)
+        b = leaf(nbytes=900, overlap_s=0.01, window_s=0.1)
+        assert a.overlap_fraction("exchange") == pytest.approx(0.8)
+        assert b.overlap_fraction("exchange") == pytest.approx(0.1)
+
+        merged = merge_traffic_reports([a, b])
+        expected = (0.8 * 100 + 0.1 * 900) / (100 + 900)
+        assert merged.overlap_fraction("exchange") == pytest.approx(expected)
+        # order independence (weighted averages commute)
+        assert merge_traffic_reports([b, a]).overlap_fraction(
+            "exchange"
+        ) == pytest.approx(expected)
+        # associativity: folding a merged report preserves the weighting
+        c = leaf(nbytes=1000, overlap_s=0.0, window_s=0.5)
+        nested = merge_traffic_reports([merged, c])
+        flat = merge_traffic_reports([a, b, c])
+        assert nested.overlap_fraction("exchange") == pytest.approx(
+            flat.overlap_fraction("exchange")
+        )
+        assert flat.overlap_fraction("exchange") == pytest.approx(
+            (0.8 * 100 + 0.1 * 900 + 0.0 * 1000) / 2000
+        )
+
+    def test_forwarded_bytes_merge_additively(self):
+        """New routed-delivery counters fold like every other counter."""
+        res = [
+            Cluster(num_pes=2, exchange_topology="hypercube").sort(
+                random_strings(60, 1, 8, seed=s), MSSpec()
+            )
+            for s in (1, 2)
+        ]
+        merged = merge_traffic_reports([r.report for r in res])
+        assert merged.forwarded_bytes == sum(
+            r.report.forwarded_bytes for r in res
+        )
+        for pe in range(2):
+            assert merged.forwarded_bytes_per_pe[pe] == sum(
+                r.report.forwarded_bytes_per_pe[pe] for r in res
+            )
+        for route in merged.route_bytes:
+            assert merged.route_bytes[route] == sum(
+                r.report.route_bytes.get(route, 0) for r in res
+            )
+        assert merged.origin_bytes_sent == sum(
+            r.report.origin_bytes_sent for r in res
+        )
+
     def test_mismatched_sizes_rejected(self):
         a = TrafficReport(
             num_pes=1,
