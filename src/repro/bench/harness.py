@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import resource
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
@@ -35,7 +36,25 @@ from ..session import Cluster, SortSpec, spec_from_options
 from ..strings.lcp import dn_ratio, merge_lcp_statistics
 from ..strings.stringset import StringSet
 
-__all__ = ["CellResult", "ExperimentResult", "ExperimentRunner", "format_table"]
+__all__ = [
+    "CellResult",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "format_table",
+    "peak_rss_bytes",
+]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, where the value is
+    simply 1024x too large — a stable unit within any one trajectory file,
+    which is all the benchmark comparisons need).  A high-water mark, not a
+    per-cell delta: the kernel never lowers it, so successive cells report
+    monotonically non-decreasing values.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 @dataclass
@@ -362,6 +381,9 @@ class ExperimentRunner:
         )
         cell.extra["spec"] = spec.to_dict()
         cell.extra["phase_bytes"] = dict(report.phase_bytes)
+        # memory high-water mark at the time the cell finished (bytes); the
+        # packed-path PRs track this next to strings/sec in the BENCH_* files
+        cell.extra["peak_rss_bytes"] = peak_rss_bytes()
         overlap = report.overlap_fraction("exchange")
         if overlap > 0.0:
             # split-phase exchange runs (REPRO_ASYNC_EXCHANGE=1) record how

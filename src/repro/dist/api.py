@@ -40,7 +40,7 @@ from ..mpi.comm import Communicator
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
 from ..net.metrics import TrafficReport
 from ..sequential import sort_strings_with_lcp
-from ..sequential.lcp_losertree import lcp_multiway_merge
+from ..sequential.lcp_losertree import lcp_multiway_merge, lcp_multiway_merge_packed
 from ..sequential.losertree import multiway_merge
 from ..sequential.stats import CharStats
 from ..strings.lcp import lcp_array
@@ -199,8 +199,21 @@ def distribute_strings(
 # ---------------------------------------------------------------------------
 
 def _local_sort(comm: Communicator, strings, sorter: str):
+    """Step 1: sort this rank's block; packed in, packed out on the hot path.
+
+    Under ``REPRO_PACKED`` with the default ``msd_radix`` sorter the block
+    is lifted into a :class:`PackedStringArray` (zero-copy when it already
+    is one) and :func:`repro.sequential.msd_radix.msd_radix_sort` dispatches
+    to the vectorized fixed-width-key sorter — the sorted run and its LCP
+    array stay packed end-to-end.  Every other configuration runs the
+    original scalar sorters over ``list[bytes]``.
+    """
+    hot = packed_enabled() and sorter == "msd_radix"
     if isinstance(strings, PackedStringArray):
-        strings = strings.to_list()
+        if not hot:
+            strings = strings.to_list()
+    elif hot:
+        strings = PackedStringArray.from_strings(strings)
     with comm.phase("local-sort"):
         stats = CharStats()
         out, lcps = sort_strings_with_lcp(strings, sorter, stats)
@@ -271,9 +284,18 @@ def ms_sort(
         stats = CharStats()
         runs = [run for run, _ in received]
         if config.lcp_merge:
-            out, out_lcps = lcp_multiway_merge(
-                runs, [h for _, h in received], stats
-            )
+            run_lcps = [h for _, h in received]
+            if runs and all(isinstance(r, PackedStringArray) for r in runs):
+                # packed end-to-end: batched loser-tree emit into one packed
+                # output buffer; materialised to lists only at the rank
+                # output boundary (contents bit-identical to the scalar merge)
+                merged, merged_lcps = lcp_multiway_merge_packed(
+                    runs, run_lcps, stats
+                )
+                out = merged.to_list()
+                out_lcps = merged_lcps.tolist()
+            else:
+                out, out_lcps = lcp_multiway_merge(runs, run_lcps, stats)
         else:
             out = multiway_merge(runs, stats)
             out_lcps = lcp_array(out)
@@ -332,6 +354,10 @@ def pdms_sort(
     """
     config = config or PDMSConfig()
     local_sorted, _ = _local_sort(comm, strings, config.local_sorter)
+    if isinstance(local_sorted, PackedStringArray):
+        # the prefix-doubling protocol and the origin-labelled merge are
+        # per-string by nature; keep them on the original list layout
+        local_sorted = local_sorted.to_list()
 
     doubling = approximate_dist_prefixes(
         comm,

@@ -143,6 +143,21 @@ class StringBlock(WireSized):
         lcps = list(self.lcps) if self.lcps is not None else lcp_array(strings)
         return strings, lcps
 
+    def decode_run(self) -> Tuple[Strings, Lcps]:
+        """Decode to the natural representation of the sent bucket.
+
+        A packed-backed block yields its :class:`PackedStringArray` and an
+        ``int64`` LCP array **without materialising** ``list[bytes]`` — the
+        downstream local sort and merge consume the packed run directly.  A
+        list-backed block behaves exactly like :meth:`decode`.  Contents are
+        bit-identical either way.
+        """
+        if self._packed is not None:
+            if self.lcps is not None:
+                return self._packed, self.lcps
+            return self._packed, packed_lcp_array(self._packed)
+        return self.decode()
+
     def wire_bytes(self) -> int:
         """Varint count + per-string (varint length, payload) [+ varint LCPs]."""
         if self._packed is not None:
@@ -239,6 +254,22 @@ class LcpCompressedBlock(WireSized):
             prev = s
         return strings, lcps
 
+    def decode_run(self) -> Tuple[Strings, Lcps]:
+        """Decode to the natural representation of the sent bucket.
+
+        A packed-backed block yields a :class:`PackedStringArray` plus the
+        ``int64`` LCP array **without materialising** ``list[bytes]``: the
+        reference-shipped original when present (the simulated machine
+        delivers messages zero-copy), otherwise the vectorized
+        :func:`repro.strings.packed.front_decode` reconstruction.  An
+        entry-backed block behaves exactly like :meth:`decode`.
+        """
+        if self._suffixes is not None:
+            if self._original is not None:
+                return self._original, self._lcps
+            return front_decode(self._lcps, self._suffixes), self._lcps
+        return self.decode()
+
     def wire_bytes(self) -> int:
         """Varint count + per-string (varint LCP, varint suffix length, suffix)."""
         if self._suffixes is not None:
@@ -252,6 +283,13 @@ class LcpCompressedBlock(WireSized):
         for h, suffix in self.entries:
             total += varint_size(h) + varint_size(len(suffix)) + len(suffix)
         return total
+
+
+def _run_chars(strings: Strings) -> int:
+    """Total characters of a decoded run (packed or list) for work accounting."""
+    if isinstance(strings, PackedStringArray):
+        return strings.num_chars
+    return sum(len(s) for s in strings)
 
 
 def _validate_buckets(
@@ -340,8 +378,8 @@ def exchange_buckets(
                 block, payload = message, None
             else:
                 block, payload = message
-            strings, lcps = block.decode()
-            decoded_chars += sum(len(s) for s in strings)
+            strings, lcps = block.decode_run()
+            decoded_chars += _run_chars(strings)
             out.append(
                 (strings, lcps) if payloads is None else (strings, lcps, payload)
             )
@@ -438,8 +476,8 @@ def exchange_buckets_async(
             # measurement (and hence the cost-model credit) low, never high
             overlapping = bool(pending) and in_flight()
             decode_start = time.perf_counter()
-            strings, lcps = block.decode()
-            decoded_chars += sum(len(s) for s in strings)
+            strings, lcps = block.decode_run()
+            decoded_chars += _run_chars(strings)
             decoded_items += len(strings)
             yield_at = time.perf_counter()
             if overlapping and in_flight():
@@ -496,8 +534,8 @@ def _routed_exchange_async(
                 block, payload = message, None
             else:
                 block, payload = message
-            strings, lcps = block.decode()
-            decoded_chars += sum(len(s) for s in strings)
+            strings, lcps = block.decode_run()
+            decoded_chars += _run_chars(strings)
             decoded_items += len(strings)
             yield (
                 (src, strings, lcps)

@@ -138,7 +138,7 @@ class _RecvRequest(Request):
     a message destined for an earlier request.
     """
 
-    __slots__ = ("_comm", "source", "tag", "_done", "_value", "_first_poll")
+    __slots__ = ("_comm", "source", "tag", "_done", "_value", "_posted")
 
     def __init__(self, comm: "ThreadComm", source: int, tag: int):
         self._comm = comm
@@ -146,7 +146,11 @@ class _RecvRequest(Request):
         self.tag = tag
         self._done = False
         self._value: Any = None
-        self._first_poll: Optional[float] = None
+        # the deadlock clock starts when the receive is *posted*, not at the
+        # first poll: a rank that posts an irecv and then computes for longer
+        # than the timeout before polling must still abort promptly if the
+        # peer is gone.
+        self._posted = time.monotonic()
 
     def _complete(self, got_tag: int, obj: Any) -> None:
         if got_tag != self.tag:
@@ -171,10 +175,7 @@ class _RecvRequest(Request):
         comm._match_pending_recvs(self.source)
         if self._done:
             return True
-        now = time.monotonic()
-        if self._first_poll is None:
-            self._first_poll = now
-        elif now - self._first_poll > comm._state.timeout:
+        if time.monotonic() - self._posted > comm._state.timeout:
             comm._state.fail(
                 SpmdError(
                     f"rank {comm.rank}: timed out waiting for a message "

@@ -130,10 +130,16 @@ class TrafficReport:
         counts twice, and fully synchronous runs count with fraction 0 —
         so the cost-model credit of a batch stream reflects how much of
         its *traffic* was overlapped, not wall-clock accidents.  0.0 when
-        the phase never ran a split-phase (asynchronous) operation.
+        the phase never ran a split-phase (asynchronous) operation, and
+        0.0 for a merged report whose constituents moved no bytes in the
+        phase at all (zero traffic can have no overlapped traffic — the
+        leaf wall-clock fallback below never applies once the phase is
+        registered in the bytes-weighted ledger).
         """
-        weight = self.overlap_weight.get(phase, 0.0)
-        if weight > 0.0:
+        weight = self.overlap_weight.get(phase)
+        if weight is not None:
+            if weight <= 0.0:
+                return 0.0
             return min(1.0, self.overlap_weighted.get(phase, 0.0) / weight)
         window = self.overlap_window_seconds.get(phase, 0.0)
         if window <= 0.0:
@@ -269,17 +275,23 @@ def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> Non
     else:
         # leaf (single-run) input: weight its fraction by the bytes the
         # phase moved; a phase with traffic but no split-phase window
-        # contributes fraction 0 at full weight
+        # contributes fraction 0 at full weight.  Phases the leaf touched
+        # without moving bytes (e.g. an exchange of all-empty buckets)
+        # register at zero weight, so a merged all-zero-bytes report
+        # answers ``overlap_fraction`` with 0.0 instead of falling back
+        # to the summed wall-clock windows of its constituents.
         for phase, nbytes in report.phase_bytes.items():
-            if nbytes <= 0:
-                continue
-            fraction = report.overlap_fraction(phase)
+            weight = float(nbytes) if nbytes > 0 else 0.0
+            fraction = report.overlap_fraction(phase) if weight else 0.0
             target.overlap_weighted[phase] = (
-                target.overlap_weighted.get(phase, 0.0) + fraction * nbytes
+                target.overlap_weighted.get(phase, 0.0) + fraction * weight
             )
             target.overlap_weight[phase] = (
-                target.overlap_weight.get(phase, 0.0) + nbytes
+                target.overlap_weight.get(phase, 0.0) + weight
             )
+        for phase in report.overlap_window_seconds:
+            target.overlap_weighted.setdefault(phase, 0.0)
+            target.overlap_weight.setdefault(phase, 0.0)
     target.collectives.extend(report.collectives)
 
 

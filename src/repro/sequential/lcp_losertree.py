@@ -26,11 +26,14 @@ The merge also produces the LCP array of the output sequence for free.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from ..strings.packed import PackedStringArray
 from .stats import CharStats
 
-__all__ = ["LcpLoserTree", "lcp_multiway_merge"]
+__all__ = ["LcpLoserTree", "lcp_multiway_merge", "lcp_multiway_merge_packed"]
 
 
 class LcpLoserTree:
@@ -62,15 +65,17 @@ class LcpLoserTree:
         while size < k:
             size *= 2
         self._k = size
-        self._runs: List[List[bytes]] = [list(r) for r in runs] + [
-            [] for _ in range(size - len(runs))
-        ]
+        # packed runs stay packed (the batched emit slices their buffers
+        # directly); list runs keep the original list-of-bytes layout
+        self._runs: List[Union[List[bytes], PackedStringArray]] = [
+            r if isinstance(r, PackedStringArray) else list(r) for r in runs
+        ] + [[] for _ in range(size - len(runs))]
         if lcps is None:
             self._run_lcps = [self._compute_lcps(r) for r in self._runs]
         else:
-            self._run_lcps = [list(h) for h in lcps] + [
-                [] for _ in range(size - len(lcps))
-            ]
+            self._run_lcps = [
+                h if isinstance(h, np.ndarray) else list(h) for h in lcps
+            ] + [[] for _ in range(size - len(lcps))]
             for i, r in enumerate(self._runs):
                 if len(self._run_lcps[i]) != len(r):
                     raise ValueError(
@@ -212,6 +217,72 @@ class LcpLoserTree:
         self._winner_lcp = self._cur_lcp[cand] if self._current[cand] is not None else 0
         return value, out_lcp
 
+    def pop_segment(self) -> Tuple[int, int, int, int]:
+        """Remove the winner *and* every following string of the same run
+        that wins its next tournament without any comparison.
+
+        Returns ``(run, start, stop, first_lcp)``: the strings removed are
+        ``runs[run][start:stop]`` and their output LCPs are ``first_lcp``
+        followed by the run's own LCP entries ``start+1 .. stop-1``.
+
+        Why this is exactly the scalar pop sequence: when the winner ``V``
+        from run ``w`` is popped, every live loser ``l`` on ``w``'s
+        leaf-to-root path caches ``LCP(l, V)`` (the key invariant — ``V``
+        passed each of those nodes on its way to the root), and those losers
+        are the minima of their subtrees, i.e. the only contenders the next
+        candidate must beat.  Let ``M`` be the largest of those cached
+        values.  A following string of run ``w`` whose run-LCP exceeds ``M``
+        wins every path comparison on the cached values alone (strictly
+        larger LCP ⇒ smaller string, no characters inspected) and leaves
+        every cached value unchanged — ``LCP(l, new) = LCP(l, prev)``
+        because ``LCP(prev, new) > LCP(l, prev)``.  The scalar replays it
+        skips are therefore state no-ops with zero character reads, so
+        outputs, LCPs *and* the comparison statistics stay bit-identical.
+        """
+        w = self._winner
+        if self._current[w] is None:
+            raise IndexError("pop from an empty LcpLoserTree")
+        first_lcp = int(self._winner_lcp)
+        start = self._pos[w]
+        run = self._runs[w]
+        run_lcps = self._run_lcps[w]
+
+        ceiling = -1  # largest cached LCP of a live contender on w's path
+        node = (self._k + w) // 2
+        while node >= 1:
+            loser = self._loser[node]
+            if self._current[loser] is not None and self._loser_lcp[node] > ceiling:
+                ceiling = self._loser_lcp[node]
+            node //= 2
+
+        stop = start + 1
+        if stop < len(run):
+            blockers = np.nonzero(np.asarray(run_lcps[stop:]) <= ceiling)[0]
+            stop = stop + int(blockers[0]) if blockers.size else len(run)
+
+        self._pos[w] = stop
+        if stop < len(run):
+            self._current[w] = run[stop]
+            self._cur_lcp[w] = run_lcps[stop]
+        else:
+            self._current[w] = None
+            self._cur_lcp[w] = 0
+
+        # one replay for the whole segment (= the scalar sequence's last one)
+        cand = w
+        node = (self._k + w) // 2
+        while node >= 1:
+            opp = self._loser[node]
+            winner, loser, h = self._play(cand, opp)
+            self._loser[node] = loser
+            self._loser_lcp[node] = h
+            self._cur_lcp_store(loser, h)
+            cand = winner
+            node //= 2
+        self._winner = cand
+        self._winner_lcp = self._cur_lcp[cand] if self._current[cand] is not None else 0
+        return w, start, stop, first_lcp
+
     def _cur_lcp_store(self, run: int, lcp_vs_winner: int) -> None:
         """Record the loser's LCP relative to the winner that just passed it.
 
@@ -240,3 +311,44 @@ def lcp_multiway_merge(
     if out_lcps:
         out_lcps[0] = 0
     return out, out_lcps
+
+
+def lcp_multiway_merge_packed(
+    runs: Sequence[PackedStringArray],
+    lcps: Sequence[np.ndarray],
+    stats: Optional[CharStats] = None,
+) -> Tuple[PackedStringArray, np.ndarray]:
+    """Merge packed sorted runs into one packed run + ``int64`` LCP array.
+
+    The batched-emit twin of :func:`lcp_multiway_merge`: winner segments
+    come out of :meth:`LcpLoserTree.pop_segment` and are appended as bulk
+    buffer slices — no per-string ``bytes`` objects, no list appends.
+    Output strings, LCP values and comparison statistics are bit-identical
+    to the scalar merge of the same runs.
+    """
+    tree = LcpLoserTree(runs, lcps, stats)
+    total = sum(len(r) for r in runs)
+    buf_parts: List[np.ndarray] = []
+    len_parts: List[np.ndarray] = []
+    lcp_parts: List[np.ndarray] = []
+    done = 0
+    while done < total:
+        w, start, stop, first_lcp = tree.pop_segment()
+        run = tree._runs[w]
+        off = run.offsets
+        buf_parts.append(run.buffer[int(off[start]) : int(off[stop])])
+        len_parts.append(run.lengths[start:stop])
+        seg_lcps = np.empty(stop - start, dtype=np.int64)
+        seg_lcps[0] = first_lcp
+        seg_lcps[1:] = tree._run_lcps[w][start + 1 : stop]
+        lcp_parts.append(seg_lcps)
+        done += stop - start
+    if not buf_parts:
+        return PackedStringArray.empty(), np.zeros(0, dtype=np.int64)
+    out_buf = np.concatenate(buf_parts)
+    lens = np.concatenate(len_parts)
+    out_off = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(lens, out=out_off[1:])
+    out_lcps = np.concatenate(lcp_parts)
+    out_lcps[0] = 0
+    return PackedStringArray(out_buf, out_off), out_lcps

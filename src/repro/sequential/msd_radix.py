@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..strings.packed import PackedStringArray, packed_enabled
 from .multikey_quicksort import multikey_quicksort
 from .stats import CharStats
+from .vector_sort import vector_sort_with_lcp
 
 __all__ = ["msd_radix_sort"]
 
@@ -41,7 +43,18 @@ def msd_radix_sort(
     matches the paper's choice of MSD radix sort with Multikey Quicksort and
     LCP insertion sort as base cases).  The produced LCP array comes at no
     extra asymptotic cost, exactly as described in the paper.
+
+    A :class:`repro.strings.packed.PackedStringArray` input under
+    ``REPRO_PACKED`` dispatches to the vectorized
+    :func:`repro.sequential.vector_sort.vector_sort_with_lcp` (returning a
+    packed array + ``int64`` LCP array with bit-identical contents); its
+    long-string fallback — and every ``list`` input — runs the scalar
+    recursion below.
     """
+    if depth == 0 and packed_enabled() and isinstance(strings, PackedStringArray):
+        vectorized = vector_sort_with_lcp(strings, stats)
+        if vectorized is not None:
+            return vectorized
     out: List[bytes] = []
     lcps: List[int] = []
     _radix(list(strings), depth, out, lcps, stats, radix_threshold, insertion_threshold)

@@ -69,9 +69,6 @@ __all__ = [
 _MAX_FIXED_WIDTH = 4096
 _MAX_FIXED_BYTES = 1 << 27  # 128 MiB of padded key material
 
-# Column-sweep decode guard: n * max_lcp cells touched.
-_MAX_DECODE_CELLS = 1 << 26
-
 _ENABLED = os.environ.get("REPRO_PACKED", "1").strip().lower() not in (
     "0",
     "false",
@@ -379,6 +376,8 @@ def front_code(
 def _front_decode_scalar(
     h: np.ndarray, suffixes: PackedStringArray
 ) -> PackedStringArray:
+    """Reference decoder (the original per-string loop); kept as the oracle
+    the property tests pin :func:`front_decode` against."""
     strings: List[bytes] = []
     prev = b""
     for hi, suffix in zip(h.tolist(), suffixes):
@@ -388,15 +387,43 @@ def _front_decode_scalar(
     return PackedStringArray.from_strings(strings)
 
 
-def front_decode(lcps: Sequence[int], suffixes: PackedStringArray) -> PackedStringArray:
-    """Reconstruct the full strings of a front-coded run.
+def _prev_smaller(h: np.ndarray) -> np.ndarray:
+    """For each ``i``: the largest ``d < i`` with ``h[d] < h[i]`` (-1 if none).
 
-    The suffix characters are scattered into the output buffer in one bulk
-    operation; the copied prefixes are resolved with a column sweep — for
-    column ``c`` every string still inside its LCP pulls the byte from the
-    nearest earlier string whose suffix actually transmitted column ``c``
-    (``np.maximum.accumulate`` over the donor indices).  Each output byte is
-    written exactly once.
+    Vectorized pointer jumping: every row starts with candidate ``i - 1``;
+    while a candidate is not strictly smaller it jumps to the candidate's own
+    candidate.  The invariant "all rows strictly between ``cand(i)`` and ``i``
+    have ``h >= h[i]``" is preserved by each jump, so the first candidate with
+    ``h < h[i]`` is the *nearest* previous smaller value.  Converges in
+    ``O(log n)`` rounds.
+    """
+    n = len(h)
+    psv = np.arange(-1, n - 1, dtype=np.int64)
+    big = np.concatenate([h, np.array([-1], dtype=np.int64)])  # big[-1] sentinel
+    while True:
+        active = np.nonzero(big[psv] >= h)[0]
+        if not active.size:
+            return psv
+        psv[active] = psv[psv[active]]
+
+
+def front_decode(lcps: Sequence[int], suffixes: PackedStringArray) -> PackedStringArray:
+    """Reconstruct the full strings of a front-coded run, fully vectorized.
+
+    The transmitted suffix characters are scattered into the output buffer
+    by one cumulative-offset gather.  The copied prefixes are resolved over
+    the contiguous buffer without any per-string Python work: the byte at
+    column ``c`` of string ``i`` was last *transmitted* by the nearest
+    earlier string ``d`` whose LCP satisfies ``h[d] <= c`` — and for fixed
+    ``i`` those donors are exactly ``i``'s previous-smaller-value chain over
+    the LCP array.  Row ``i`` therefore copies the column range
+    ``[h[psv(i)], h[i])`` from ``psv(i)``'s suffix, the range
+    ``[h[psv²(i)], h[psv(i)])`` from ``psv²(i)``'s suffix, and so on down to
+    column 0; the chains for *all* rows are emitted together, one vectorized
+    gather/scatter per chain level (``max`` chain depth rounds, 1 for
+    all-equal runs).  Every output byte is written exactly once and all
+    source ranges lie in the transmitted suffix data, so no ordering or
+    clipping is needed.  Bit-identical to :func:`_front_decode_scalar`.
     """
     n = len(suffixes)
     h = np.asarray(lcps, dtype=np.int64)
@@ -411,9 +438,6 @@ def front_decode(lcps: Sequence[int], suffixes: PackedStringArray) -> PackedStri
                 f"corrupt LCP-compressed block: LCP {int(h[bad])} exceeds the "
                 f"previous string's length {int(out_lens[bad - 1]) if bad else 0}"
             )
-    max_h = int(h.max()) if n else 0
-    if n and n * max_h > _MAX_DECODE_CELLS:
-        return _front_decode_scalar(h, suffixes)
 
     out_off = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(out_lens, out=out_off[1:])
@@ -422,17 +446,47 @@ def front_decode(lcps: Sequence[int], suffixes: PackedStringArray) -> PackedStri
     # 1) scatter every transmitted suffix byte to its final position
     soff = suffixes.offsets
     sdata = suffixes.buffer[int(soff[0]) : int(soff[-1])]
+    sstart = (soff[:-1] - soff[0]).astype(np.int64)
     if sdata.size:
-        dst = np.repeat(out_off[:-1] + h - (soff[:-1] - soff[0]), suf_lens)
+        dst = np.repeat(out_off[:-1] + h - sstart, suf_lens)
         out_buf[dst + np.arange(sdata.size, dtype=np.int64)] = sdata
-    # 2) resolve the copied prefixes column by column
-    if max_h:
-        rows = np.arange(n, dtype=np.int64)
-        for c in range(max_h):
-            need = h > c
-            donor = np.maximum.accumulate(np.where(h <= c, rows, -1))
-            nrows = rows[need]
-            out_buf[out_off[nrows] + c] = out_buf[out_off[donor[nrows]] + c]
+
+    # 2) resolve the copied prefixes along the previous-smaller-value chains
+    if n and h.size and int(h.max()) > 0:
+        psv = _prev_smaller(h)
+        rows_acc: List[np.ndarray] = []
+        donor_acc: List[np.ndarray] = []
+        lo_acc: List[np.ndarray] = []
+        hi_acc: List[np.ndarray] = []
+        active = np.nonzero(h > 0)[0]
+        cur = psv[active]
+        hi = h[active]
+        while active.size:
+            lo = h[cur]
+            rows_acc.append(active)
+            donor_acc.append(cur)
+            lo_acc.append(lo)
+            hi_acc.append(hi)
+            keep = lo > 0
+            active = active[keep]
+            cur = psv[cur[keep]]
+            hi = lo[keep]
+        rows = np.concatenate(rows_acc)
+        donor = np.concatenate(donor_acc)
+        lo = np.concatenate(lo_acc)
+        hi = np.concatenate(hi_acc)
+        seg = hi - lo
+        total = int(seg.sum())
+        within = np.arange(total, dtype=np.int64)
+        starts = np.zeros(len(seg), dtype=np.int64)
+        np.cumsum(seg[:-1], out=starts[1:])
+        within -= np.repeat(starts, seg)
+        # donor d transmitted columns [h[d], out_lens[d]); the chain structure
+        # guarantees [lo, hi) lies inside that range, so the source bytes are
+        # already present in the transmitted suffix data
+        out_buf[np.repeat(out_off[rows] + lo, seg) + within] = sdata[
+            np.repeat(sstart[donor] + lo - h[donor], seg) + within
+        ]
     return PackedStringArray(out_buf, out_off)
 
 

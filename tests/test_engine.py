@@ -1,5 +1,7 @@
 """Tests for the SPMD thread engine and its simulated communicator."""
 
+import time
+
 import pytest
 
 from repro.mpi import ReduceOp, SpmdError, run_spmd
@@ -236,3 +238,43 @@ class TestAccounting:
 
         _, report = run_spmd(5, prog)
         assert report.total_bytes_sent == 4 * (50 + 1)
+
+
+class TestRecvDeadlockClock:
+    """The recv deadlock timeout counts from *posting*, not the first poll.
+
+    A rank that posts an ``irecv`` and then computes for longer than the
+    timeout before ever polling used to restart the clock at its first
+    ``test()`` call, doubling the time to detect a dead peer.
+    """
+
+    def test_timeout_counts_from_post_not_first_poll(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1)
+                # compute past the whole timeout before the first poll; the
+                # deadlock clock must already have been running since irecv
+                time.sleep(0.7)
+                req.wait()  # raises: rank 1 never sends
+            else:
+                time.sleep(0.2)
+
+        start = time.monotonic()
+        with pytest.raises(SpmdError, match="timed out|timeout"):
+            run_spmd(2, prog, timeout=0.5)
+        elapsed = time.monotonic() - start
+        # fixed clock: abort fires at the first poll (~0.7 s in).  The old
+        # first-poll clock would not fire before ~1.2 s.
+        assert elapsed < 1.1, f"deadlock detection took {elapsed:.2f}s"
+
+    def test_posted_then_polled_within_timeout_still_completes(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1)
+                time.sleep(0.1)
+                return req.wait()
+            comm.send(b"payload", 0)
+            return None
+
+        results, _ = run_spmd(2, prog, timeout=5.0)
+        assert results[0] == b"payload"

@@ -18,6 +18,7 @@ from repro.mpi.serialization import varint_size, varint_sizes, varint_total, wir
 from repro.strings.lcp import lcp, lcp_array, lcp_compress_lengths
 from repro.strings.packed import (
     PackedStringArray,
+    _front_decode_scalar,
     front_code,
     front_decode,
     packed_argsort,
@@ -207,6 +208,66 @@ class TestFrontCoding:
             front_decode(np.array([0, 5]), suffixes)
         with pytest.raises(ValueError):
             front_decode(np.array([1, 0]), suffixes)
+
+
+class TestFrontDecodeVectorizedOracle:
+    """The PSV-chain ``front_decode`` ≡ the scalar per-string loop.
+
+    The vectorized decoder reconstructs each string's borrowed prefix
+    through its previous-smaller-value chain over the LCP array; the scalar
+    loop (``_front_decode_scalar``, kept exactly as it was) is the oracle.
+    Every property feeds *sorted* inputs — front coding is only defined on
+    sorted runs — but stresses the chain's edge shapes: empty strings, zero
+    LCPs, all-equal runs (chain depth 1), staircase prefixes (maximal chain
+    depth), single-string arrays, and non-ASCII / NUL-bearing bytes.
+    """
+
+    @staticmethod
+    def _roundtrip(srt):
+        h = np.asarray(scalar_lcp_array(srt), dtype=np.int64)
+        hc, suffixes = front_code(PackedStringArray.from_strings(srt), h.tolist())
+        got = front_decode(hc, suffixes)
+        want = _front_decode_scalar(np.asarray(hc, dtype=np.int64), suffixes)
+        assert got.to_list() == want.to_list() == srt
+
+    @given(string_lists())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_oracle(self, xs):
+        self._roundtrip(sorted(xs))
+
+    @given(st.lists(st.binary(min_size=0, max_size=16), max_size=30))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_binary_strings(self, xs):
+        # full byte alphabet: non-ASCII values and embedded NULs
+        self._roundtrip(sorted(xs))
+
+    @given(st.binary(min_size=0, max_size=12), st.integers(1, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_all_equal_run(self, s, n):
+        # constant run: every LCP equals len(s); chain depth is exactly 1
+        self._roundtrip([s] * n)
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_staircase_prefixes(self, n):
+        # a, aa, aaa, ...: strictly increasing LCPs, maximal chain depth
+        self._roundtrip([b"a" * i for i in range(1, n + 1)])
+
+    @given(st.binary(min_size=0, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_single_string(self, s):
+        self._roundtrip([s])
+
+    @given(st.lists(st.binary(min_size=0, max_size=10), min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_zero_lcp_runs(self, xs):
+        # distinct leading bytes force every LCP to 0: pure suffix copy
+        srt = sorted(xs)
+        distinct = [bytes([i]) + s for i, s in enumerate(srt)]
+        self._roundtrip(distinct)
+
+    def test_empty_input(self):
+        self._roundtrip([])
 
 
 # ---------------------------------------------------------------------------
