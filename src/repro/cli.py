@@ -121,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
         "row+column phases); outputs and origin wire bytes are identical, "
         "forwarded routing bytes are reported separately",
     )
+    p_sort.add_argument(
+        "--timeout", type=float, default=None,
+        help="deadlock-detection timeout per blocking operation, in seconds "
+        "(default: the REPRO_SPMD_TIMEOUT environment variable, or 600)",
+    )
+    p_sort.add_argument(
+        "--fault-plan",
+        help="fault-injection plan as JSON (inline, or @path to a file); "
+        "installs a seeded chaos schedule (drops, duplicates, delays, "
+        "corruption, crashes, stragglers — see docs/FAULTS.md) and prints "
+        "the injected/detected/retried counters",
+    )
+    p_sort.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-run the sort up to this many times if a fault (e.g. an "
+        "injected rank crash) aborts it (default: 0, fail fast)",
+    )
 
     p_alg = sub.add_parser(
         "algorithms", help="list the algorithm registry and the spec knobs"
@@ -173,17 +190,32 @@ def _spec_from_args(args) -> SortSpec:
     )
 
 
+def _load_fault_plan(raw: Optional[str]):
+    """Parse ``--fault-plan`` (inline JSON or ``@path``) into a FaultPlan."""
+    if not raw:
+        return None
+    from .faults import FaultPlan
+
+    if raw.startswith("@"):
+        with open(raw[1:], "r") as fh:
+            raw = fh.read()
+    return FaultPlan.from_json(raw)
+
+
 def _cmd_sort(args) -> int:
     data = _load_or_generate(args)
     spec = _spec_from_args(args)
+    plan = _load_fault_plan(args.fault_plan)
     # the flag only ever opts *in*: without it the REPRO_ASYNC_EXCHANGE
     # environment setting (or the default, off) stays in charge
     cluster = Cluster(
         num_pes=args.num_pes,
         async_exchange=True if args.async_exchange else None,
         exchange_topology=args.exchange_topology,
+        timeout=args.timeout,
+        fault_plan=plan,
     )
-    result = cluster.sort(data, spec, check=args.check)
+    result = cluster.sort(data, spec, check=args.check, max_retries=args.max_retries)
     report = result.report
     print(f"algorithm          : {result.algorithm}")
     print(f"config hash        : {spec.config_hash()}")
@@ -204,6 +236,13 @@ def _cmd_sort(args) -> int:
         print(f"origin bytes       : {report.origin_bytes_sent}")
         print(f"forwarded bytes    : {report.forwarded_bytes} "
               f"(multi-level routing, {topology})")
+    if plan is not None:
+        print(f"faults             : {report.faults_injected} injected, "
+              f"{report.faults_detected} detected, {report.retries} retried")
+        if report.retransmitted_bytes > 0:
+            print(f"retransmit bytes   : {report.retransmitted_bytes}")
+        if report.job_retries > 0:
+            print(f"job retries        : {report.job_retries}")
     print(f"bytes per string   : {result.bytes_per_string():.2f}")
     print(f"modelled time      : {result.modeled_time(DEFAULT_MACHINE):.3e} s")
     print(f"bytes by phase     : {dict(report.phase_bytes)}")

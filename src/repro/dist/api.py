@@ -548,7 +548,7 @@ def dsort(
     pre_distributed: bool = False,
     check: bool = False,
     seed: int = 0,
-    timeout: float = 600.0,
+    timeout: Optional[float] = None,
     distribute_by: str = "strings",
     **options: Any,
 ) -> DSortResult:
@@ -582,6 +582,10 @@ def dsort(
     seed:
         Randomisation seed (hQuick pivot sampling, D/N estimation); never
         affects the sorted output.
+    timeout:
+        Deadlock-detection timeout per blocking operation, in seconds;
+        ``None`` (default) inherits the process-level setting (the
+        ``REPRO_SPMD_TIMEOUT`` environment variable, or 600 s).
     distribute_by:
         Input distribution criterion: ``"strings"`` balances string counts,
         ``"chars"`` balances character mass (for length-skewed workloads).

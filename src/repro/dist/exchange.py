@@ -33,6 +33,12 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..faults.checksum import (
+    CHECKSUM_WIRE_BYTES,
+    block_checksum,
+    wire_checksums_enabled,
+)
+from ..faults.errors import CorruptFrameError
 from ..mpi.comm import Communicator, waitany
 from ..mpi.serialization import (
     WireSized,
@@ -118,7 +124,14 @@ Lcps = Union[Sequence[int], np.ndarray, None]
 
 
 class StringBlock(WireSized):
-    """One bucket sent verbatim, optionally together with its LCP array."""
+    """One bucket sent verbatim, optionally together with its LCP array.
+
+    When wire checksums are enabled (``REPRO_WIRE_CHECKSUMS`` /
+    :func:`repro.faults.set_wire_checksums`) the block is *sealed* at
+    construction: a CRC32 of its content travels with it (4 extra wire
+    bytes) and :meth:`decode` / :meth:`decode_run` verify the seal, raising
+    :class:`~repro.faults.errors.CorruptFrameError` on mismatch.
+    """
 
     def __init__(self, strings: Strings, lcps: Lcps = None):
         if lcps is not None and len(strings) != len(lcps):
@@ -131,9 +144,29 @@ class StringBlock(WireSized):
             self._packed = None
             self.strings = list(strings)
             self.lcps = list(lcps) if lcps is not None else None
+        self._crc: Optional[int] = (
+            self._compute_crc() if wire_checksums_enabled() else None
+        )
+
+    def _compute_crc(self) -> int:
+        """CRC32 of the block's content, recomputed from scratch (bulk)."""
+        content = self._packed if self._packed is not None else self.strings
+        return block_checksum(content, self.lcps)
+
+    def content_crc(self) -> int:
+        """The checksum the envelope layer folds in (the seal, or fresh)."""
+        return self._crc if self._crc is not None else self._compute_crc()
+
+    def _verify_seal(self) -> None:
+        if self._crc is not None and self._compute_crc() != self._crc:
+            raise CorruptFrameError(
+                "StringBlock checksum mismatch: block content does not match "
+                "its seal (frame corrupted in transit)"
+            )
 
     def decode(self) -> Tuple[List[bytes], List[int]]:
         """``(strings, lcps)``; the LCP array is recomputed when not shipped."""
+        self._verify_seal()
         if self._packed is not None:
             strings = self._packed.to_list()
             if self.lcps is not None:
@@ -152,6 +185,7 @@ class StringBlock(WireSized):
         list-backed block behaves exactly like :meth:`decode`.  Contents are
         bit-identical either way.
         """
+        self._verify_seal()
         if self._packed is not None:
             if self.lcps is not None:
                 return self._packed, self.lcps
@@ -159,25 +193,39 @@ class StringBlock(WireSized):
         return self.decode()
 
     def wire_bytes(self) -> int:
-        """Varint count + per-string (varint length, payload) [+ varint LCPs]."""
+        """Varint count + per-string (varint length, payload) [+ varint LCPs].
+
+        A sealed block additionally carries its 4-byte CRC32 on the wire.
+        """
+        seal = CHECKSUM_WIRE_BYTES if self._crc is not None else 0
         if self._packed is not None:
-            return packed_wire_bytes(self._packed, self.lcps)
+            return packed_wire_bytes(self._packed, self.lcps) + seal
         total = varint_size(len(self.strings))
         for s in self.strings:
             total += varint_size(len(s)) + len(s)
         if self.lcps is not None:
             total += sum(varint_size(h) for h in self.lcps)
-        return total
+        return total + seal
 
 
 class LcpCompressedBlock(WireSized):
-    """One bucket with LCP front coding: ``(lcp, suffix-past-lcp)`` per string."""
+    """One bucket with LCP front coding: ``(lcp, suffix-past-lcp)`` per string.
+
+    Like :class:`StringBlock`, the block is sealed with a content CRC32 when
+    wire checksums are enabled, verified at decode time (4 extra wire bytes;
+    :class:`~repro.faults.errors.CorruptFrameError` on mismatch).  The seal
+    covers the front-coded wire form — LCPs and suffixes — not the
+    zero-copy ``original`` reference.
+    """
 
     def __init__(self, entries: Sequence[Tuple[int, bytes]]):
         self.entries: Optional[List[Tuple[int, bytes]]] = list(entries)
         self._lcps: Optional[np.ndarray] = None
         self._suffixes: Optional[PackedStringArray] = None
         self._original: Optional[PackedStringArray] = None
+        self._crc: Optional[int] = (
+            self._compute_crc() if wire_checksums_enabled() else None
+        )
 
     @classmethod
     def _from_packed(
@@ -191,7 +239,35 @@ class LcpCompressedBlock(WireSized):
         blk._lcps = lcps
         blk._suffixes = suffixes
         blk._original = original
+        blk._crc = blk._compute_crc() if wire_checksums_enabled() else None
         return blk
+
+    def _compute_crc(self) -> int:
+        """CRC32 of the front-coded wire content, recomputed from scratch.
+
+        Folds the suffix payload and the LCP array in bulk
+        (:func:`block_checksum`), so a packed-backed and an entry-backed
+        block with the same front-coded content seal identically.
+        """
+        if self._suffixes is not None:
+            return block_checksum(self._suffixes, self._lcps)
+        if not self.entries:
+            return block_checksum((), np.zeros(0, dtype=np.int64))
+        lcps, suffixes = zip(*self.entries)
+        return block_checksum(
+            suffixes, np.fromiter(lcps, dtype=np.int64, count=len(suffixes))
+        )
+
+    def content_crc(self) -> int:
+        """The checksum the envelope layer folds in (the seal, or fresh)."""
+        return self._crc if self._crc is not None else self._compute_crc()
+
+    def _verify_seal(self) -> None:
+        if self._crc is not None and self._compute_crc() != self._crc:
+            raise CorruptFrameError(
+                "LcpCompressedBlock checksum mismatch: block content does "
+                "not match its seal (frame corrupted in transit)"
+            )
 
     @classmethod
     def encode(cls, strings: Strings, lcps: Lcps) -> "LcpCompressedBlock":
@@ -234,6 +310,7 @@ class LcpCompressedBlock(WireSized):
 
     def decode(self) -> Tuple[List[bytes], List[int]]:
         """Reconstruct ``(strings, lcps)`` from the front-coded entries."""
+        self._verify_seal()
         if self._suffixes is not None:
             if self._original is not None:
                 return self._original.to_list(), self._lcps.tolist()
@@ -264,6 +341,7 @@ class LcpCompressedBlock(WireSized):
         :func:`repro.strings.packed.front_decode` reconstruction.  An
         entry-backed block behaves exactly like :meth:`decode`.
         """
+        self._verify_seal()
         if self._suffixes is not None:
             if self._original is not None:
                 return self._original, self._lcps
@@ -271,18 +349,23 @@ class LcpCompressedBlock(WireSized):
         return self.decode()
 
     def wire_bytes(self) -> int:
-        """Varint count + per-string (varint LCP, varint suffix length, suffix)."""
+        """Varint count + per-string (varint LCP, varint suffix length, suffix).
+
+        A sealed block additionally carries its 4-byte CRC32 on the wire.
+        """
+        seal = CHECKSUM_WIRE_BYTES if self._crc is not None else 0
         if self._suffixes is not None:
             return (
                 varint_size(len(self._suffixes))
                 + varint_total(self._lcps)
                 + varint_total(self._suffixes.lengths)
                 + self._suffixes.num_chars
+                + seal
             )
         total = varint_size(len(self.entries))
         for h, suffix in self.entries:
             total += varint_size(h) + varint_size(len(suffix)) + len(suffix)
-        return total
+        return total + seal
 
 
 def _run_chars(strings: Strings) -> int:

@@ -1,0 +1,74 @@
+"""The wire-checksum toggle: CRC32 seals on framed wire formats.
+
+When enabled, the framed message classes (:class:`repro.dist.exchange.StringBlock`,
+:class:`repro.dist.exchange.LcpCompressedBlock`,
+:class:`repro.net.router.RouteFrame`) compute a CRC32 over their content at
+construction, charge :data:`repro.mpi.serialization.CHECKSUM_WIRE_BYTES`
+extra wire bytes for the seal, and verify it at decode — a mismatch raises
+:class:`repro.faults.errors.CorruptFrameError` instead of producing silently
+wrong output.
+
+The toggle follows the same three spellings as the packed/async toggles:
+the ``REPRO_WIRE_CHECKSUMS`` environment variable at import,
+:func:`set_wire_checksums` process-wide, and the scoped
+:func:`use_wire_checksums` context manager (what
+``Cluster(wire_checksums=...)`` applies per sort).  It is **off by
+default**: the byte accounting pinned by the tier-1 suite describes the
+unsealed formats, and the +4-bytes-per-frame cost is opt-in.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..mpi.serialization import (
+    CHECKSUM_WIRE_BYTES,
+    block_checksum,
+    payload_checksum,
+)
+
+__all__ = [
+    "CHECKSUM_WIRE_BYTES",
+    "block_checksum",
+    "payload_checksum",
+    "wire_checksums_enabled",
+    "set_wire_checksums",
+    "use_wire_checksums",
+]
+
+_CHECKSUMS_ENABLED = os.environ.get("REPRO_WIRE_CHECKSUMS", "0").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def wire_checksums_enabled() -> bool:
+    """Whether newly built wire frames carry (and verify) a CRC32 seal.
+
+    Defaults to the ``REPRO_WIRE_CHECKSUMS`` environment variable (off
+    unless set to ``1``/``true``/``yes``/``on``).  Sealing adds exactly
+    :data:`CHECKSUM_WIRE_BYTES` wire bytes per frame and never changes
+    decoded contents.
+    """
+    return _CHECKSUMS_ENABLED
+
+
+def set_wire_checksums(flag: bool) -> bool:
+    """Enable/disable frame seals process-wide; returns the previous setting."""
+    global _CHECKSUMS_ENABLED
+    previous = _CHECKSUMS_ENABLED
+    _CHECKSUMS_ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def use_wire_checksums(flag: bool):
+    """Context-manager form of :func:`set_wire_checksums` (tests, sessions)."""
+    previous = set_wire_checksums(flag)
+    try:
+        yield
+    finally:
+        set_wire_checksums(previous)

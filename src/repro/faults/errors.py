@@ -1,0 +1,39 @@
+"""Typed fault errors raised by the detection and recovery layers.
+
+Every error the fault subsystem can surface derives from :class:`FaultError`,
+so callers can catch the whole family with one ``except`` while tests pin
+the exact failure mode.  When a fault aborts an SPMD run, the engine wraps
+the typed error in :class:`repro.mpi.engine.SpmdError` exactly like any
+other rank failure — the typed original rides along as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "CorruptFrameError", "LostMessageError", "RankCrashError"]
+
+
+class FaultError(RuntimeError):
+    """Base class of every typed fault raised by detection or recovery."""
+
+
+class CorruptFrameError(FaultError):
+    """A frame failed its CRC32 verification (at decode or at delivery).
+
+    Raised by the sealed wire formats (:class:`repro.dist.exchange.StringBlock`,
+    :class:`repro.dist.exchange.LcpCompressedBlock`,
+    :class:`repro.net.router.RouteFrame`) when a checksum mismatch is found,
+    and by the point-to-point recovery layer when a message stayed corrupt
+    after the retransmit budget was exhausted.
+    """
+
+
+class LostMessageError(FaultError):
+    """A message could not be recovered within the retransmit budget.
+
+    Raised by the point-to-point recovery layer when a sequence-number gap
+    persists after the bounded backoff-and-retransmit protocol gave up.
+    """
+
+
+class RankCrashError(FaultError):
+    """A simulated PE crashed (a ``crash`` rule of a fault plan fired)."""

@@ -28,6 +28,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -35,15 +36,25 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..faults.errors import (
+    CorruptFrameError,
+    FaultError,
+    LostMessageError,
+    RankCrashError,
+)
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.wire import Envelope, envelope_overhead
 from ..net.metrics import TrafficMeter, TrafficReport
 from .comm import Communicator, ReduceOp, Request
-from .serialization import wire_size
+from .serialization import payload_checksum, wire_size
 
 __all__ = [
     "ThreadComm",
     "ThreadEngine",
     "SpmdError",
     "run_spmd",
+    "default_timeout",
     "ENGINES",
     "get_engine",
     "register_engine",
@@ -56,8 +67,52 @@ __all__ = [
 _DEFAULT_TIMEOUT = 600.0
 
 
+def default_timeout() -> float:
+    """The process-wide default deadlock timeout, in seconds.
+
+    Reads the ``REPRO_SPMD_TIMEOUT`` environment variable at every call (so
+    tests and deployments can adjust it without touching code); falls back
+    to 600 s.  Every layer that accepts ``timeout=None`` —
+    :class:`ThreadEngine`, :func:`run_spmd`, :class:`repro.session.Cluster`,
+    :func:`repro.dist.api.dsort`, the CLI — resolves ``None`` through here.
+    """
+    raw = os.environ.get("REPRO_SPMD_TIMEOUT", "").strip()
+    if not raw:
+        return _DEFAULT_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SPMD_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SPMD_TIMEOUT must be positive, got {raw!r}")
+    return value
+
+
 class SpmdError(RuntimeError):
     """Raised when a simulated SPMD run fails (rank exception or deadlock)."""
+
+
+class _FaultChannel:
+    """Fault-mode sender-side state of one ordered ``(src, dst)`` pair.
+
+    ``next_seq`` numbers the channel's messages in send order; ``unacked``
+    is the retransmit buffer (clean envelopes, removed when the receiver
+    delivers them in order — a piggybacked ack); ``delayed`` pens envelopes
+    a ``delay`` rule held back, each with a countdown of messages that must
+    overtake it before release.
+    """
+
+    __slots__ = ("lock", "next_seq", "unacked", "delayed")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.next_seq = 0
+        # seq -> (clean envelope, accounted wire bytes incl. framing)
+        self.unacked: Dict[int, Tuple[Envelope, int]] = {}
+        # [remaining messages to overtake, held envelope]
+        self.delayed: List[List[Any]] = []
 
 
 @dataclass
@@ -67,6 +122,7 @@ class _SharedState:
     num_pes: int
     meter: TrafficMeter
     timeout: float
+    injector: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         self.barrier = threading.Barrier(self.num_pes)
@@ -79,6 +135,17 @@ class _SharedState:
         self.error_event = threading.Event()
         self.errors: List[BaseException] = []
         self.error_lock = threading.Lock()
+        # fault-mode per-channel sender state, created lazily per pair
+        self.channels: Dict[Tuple[int, int], _FaultChannel] = {}
+        self._channels_lock = threading.Lock()
+
+    def channel(self, src: int, dst: int) -> _FaultChannel:
+        """The fault-mode channel state of the ordered pair ``(src, dst)``."""
+        ch = self.channels.get((src, dst))
+        if ch is None:
+            with self._channels_lock:
+                ch = self.channels.setdefault((src, dst), _FaultChannel())
+        return ch
 
     def fail(self, exc: BaseException) -> None:
         """Record ``exc`` and abort the run (wakes every blocked rank)."""
@@ -92,13 +159,15 @@ class _SharedState:
 
         Only valid after a successful run: the barrier is intact (a broken
         barrier is never reusable) and the message queues have been drained
-        by the ranks themselves.
+        by the ranks themselves.  Fault-mode channel state (sequence
+        numbers, retransmit buffers, delay pens) starts fresh per run.
         """
         self.meter = meter
         self.timeout = timeout
         self.board = [None] * self.num_pes
         self.error_event = threading.Event()
         self.errors = []
+        self.channels = {}
 
     def is_clean(self) -> bool:
         """Whether this state can be reused (no errors, no stray messages)."""
@@ -175,13 +244,24 @@ class _RecvRequest(Request):
         comm._match_pending_recvs(self.source)
         if self._done:
             return True
+        if comm._fault:
+            # nothing arrived: after a backoff, pull a retransmit of the
+            # expected message from the sender's buffer (drop recovery)
+            comm._maybe_backoff_pull(self.source)
+            comm._match_pending_recvs(self.source)
+            if self._done:
+                return True
         if time.monotonic() - self._posted > comm._state.timeout:
-            comm._state.fail(
-                SpmdError(
-                    f"rank {comm.rank}: timed out waiting for a message "
-                    f"from rank {self.source} (tag {self.tag})"
-                )
+            message = (
+                f"rank {comm.rank}: timed out waiting for a message "
+                f"from rank {self.source} (tag {self.tag})"
             )
+            # in fault mode the typed error names the failure class the
+            # chaos suite asserts on; the engine wraps it in SpmdError
+            exc: BaseException = (
+                LostMessageError(message) if comm._fault else SpmdError(message)
+            )
+            comm._state.fail(exc)
             raise SpmdError(
                 f"rank {comm.rank}: recv timeout from rank {self.source}"
             )
@@ -199,6 +279,13 @@ class _RecvRequest(Request):
         head of the FIFO.
         """
         comm = self._comm
+        if comm._fault:
+            # every arrival must pass the sequencing/verification layer, so
+            # the blocking fast path below (which bypasses it) is disabled;
+            # test() pumps, verifies and recovers on every poll
+            while not self.test():
+                time.sleep(0.0005)
+            return self._value
         q = comm._state.queues[(self.source, comm.rank)]
         while not self.test():
             pending = comm._pending_recvs.get(self.source)
@@ -222,12 +309,42 @@ class ThreadComm(Communicator):
         self._state = state
         self._phase = "unlabelled"
         self._pending_recvs: Dict[int, Deque[_RecvRequest]] = {}
+        #: whether a fault plan is installed (adds envelope framing + recovery)
+        self._fault = state.injector is not None
+        if self._fault:
+            # receiver-side sequencing state, per source rank
+            self._expected: Dict[int, int] = {}
+            self._ooo: Dict[int, Dict[int, Envelope]] = {}
+            self._inbox: Dict[int, Deque[Tuple[int, Any]]] = {}
+            # [deadline, armed] exponential-backoff state of the drop detector
+            self._pull_backoff: Dict[int, List[float]] = {}
 
     # ------------------------------------------------------------------ accounting
     def set_phase(self, name: str) -> None:
-        """Label this rank's subsequent traffic with ``name``."""
+        """Label this rank's subsequent traffic with ``name``.
+
+        With a fault plan installed this is also the rank-lifecycle hook:
+        ``crash`` rules raise :class:`~repro.faults.errors.RankCrashError`
+        here and ``straggle`` rules put the rank to sleep.
+        """
         self._phase = name
         self._state.meter.set_phase(self.rank, name)
+        injector = self._state.injector
+        if injector is not None:
+            action = injector.on_phase(self.rank, name)
+            if action is not None:
+                meter = self._state.meter
+                if action.kind == "crash":
+                    meter.record_fault_injected(self.rank)
+                    # a crash is trivially "detected": the run aborts loudly
+                    meter.record_fault_detected(self.rank)
+                    raise RankCrashError(
+                        f"rank {self.rank} crashed entering phase {name!r} "
+                        "(fault plan)"
+                    )
+                if action.kind == "straggle":
+                    meter.record_fault_injected(self.rank)
+                    time.sleep(action.seconds)
 
     def get_phase(self) -> str:
         """The current accounting phase label of this rank."""
@@ -289,12 +406,92 @@ class ThreadComm(Communicator):
 
     # ------------------------------------------------------------------ point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
-        """Enqueue ``obj`` for ``dest`` and account its wire size."""
+        """Enqueue ``obj`` for ``dest`` and account its wire size.
+
+        With a fault plan installed the message travels inside an
+        :class:`~repro.faults.wire.Envelope` (sequence number + payload
+        CRC32, charged on the wire) and the plan's message rules may strike
+        it; without one, this is the zero-overhead baseline path.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         size = wire_size(obj) if nbytes is None else nbytes
-        self._state.meter.record_send(self.rank, dest, size)
-        self._state.queues[(self.rank, dest)].put((tag, obj))
+        if not self._fault:
+            self._state.meter.record_send(self.rank, dest, size)
+            self._state.queues[(self.rank, dest)].put((tag, obj))
+            return
+        self._fault_send(obj, dest, tag, size)
+
+    def _fault_send(self, obj: Any, dest: int, tag: int, size: int) -> None:
+        """Fault-mode send: frame, buffer for retransmission, maybe inject.
+
+        The clean envelope enters the retransmit buffer *before* anything is
+        enqueued: any receiver-side evidence of a message (its own arrival,
+        a successor's arrival) therefore proves its buffer entry exists, so
+        recovery pulls never race the sender.
+        """
+        state = self._state
+        meter = state.meter
+        ch = state.channel(self.rank, dest)
+        env = Envelope(ch.next_seq, tag, payload_checksum(obj), obj)
+        ch.next_seq += 1
+        env_bytes = size + envelope_overhead(env.seq)
+        with ch.lock:
+            ch.unacked[env.seq] = (env, env_bytes)
+        meter.record_send(self.rank, dest, env_bytes)
+        q = state.queues[(self.rank, dest)]
+        action = (
+            state.injector.on_send(self.rank, dest, self._phase)
+            if dest != self.rank
+            else None
+        )
+        if action is None:
+            q.put(env)
+        elif action.kind == "drop":
+            # never enqueued; the receiver recovers from the buffer
+            meter.record_fault_injected(self.rank)
+        elif action.kind == "duplicate":
+            meter.record_fault_injected(self.rank)
+            q.put(env)
+            q.put(Envelope(env.seq, env.tag, env.crc, env.payload))
+            # the duplicate costs wire bytes but is not origin volume
+            meter.record_retransmit(self.rank, dest, env_bytes)
+        elif action.kind == "corrupt":
+            meter.record_fault_injected(self.rank)
+            # tamper a *copy*: the retransmit buffer keeps the clean CRC
+            # (payloads move by shared reference, so the simulated bit-flip
+            # lives in the envelope's checksum field)
+            q.put(Envelope(env.seq, env.tag, env.crc ^ action.mask, env.payload))
+        elif action.kind == "delay":
+            meter.record_fault_injected(self.rank)
+        else:  # pragma: no cover - injector only emits message kinds here
+            q.put(env)
+        # this send is one overtaking event: held messages tick AFTER the
+        # current message entered the queue (otherwise nothing could ever
+        # overtake a held message) and BEFORE the current one may be penned
+        # (a held message must not tick at its own send)
+        self._release_delayed(ch, q)
+        if action is not None and action.kind == "delay":
+            with ch.lock:
+                ch.delayed.append([action.delay_messages, env])
+
+    @staticmethod
+    def _release_delayed(ch: _FaultChannel, q: "queue.SimpleQueue") -> None:
+        """Tick the channel's delay pen; enqueue envelopes fully overtaken."""
+        if not ch.delayed:
+            return
+        ripe: List[Envelope] = []
+        with ch.lock:
+            remaining: List[List[Any]] = []
+            for entry in ch.delayed:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    ripe.append(entry[1])
+                else:
+                    remaining.append(entry)
+            ch.delayed = remaining
+        for env in ripe:
+            q.put(env)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive: post an ``irecv`` and wait for it."""
@@ -328,6 +525,14 @@ class ThreadComm(Communicator):
         pending = self._pending_recvs.get(source)
         if not pending:
             return
+        if self._fault:
+            # fault mode: raw queue -> sequencing/verification -> inbox
+            self._pump(source)
+            inbox = self._inbox.get(source)
+            while pending and inbox:
+                got_tag, obj = inbox.popleft()
+                pending.popleft()._complete(got_tag, obj)
+            return
         q = self._state.queues[(source, self.rank)]
         while pending:
             try:
@@ -335,6 +540,148 @@ class ThreadComm(Communicator):
             except queue.Empty:
                 return
             pending.popleft()._complete(got_tag, obj)
+
+    # ------------------------------------------------------------------ fault-mode receive path
+    def _pump(self, source: int) -> None:
+        """Drain the raw queue from ``source`` through sequencing/verification."""
+        q = self._state.queues[(source, self.rank)]
+        while True:
+            try:
+                env = q.get_nowait()
+            except queue.Empty:
+                return
+            self._accept(source, env)
+
+    def _accept(self, source: int, env: Envelope) -> None:
+        """Sequence one arrived envelope: discard stale, stash early, drain."""
+        expected = self._expected.get(source, 0)
+        if env.seq < expected:
+            # duplicate of an already-delivered message: detected and dropped
+            self._state.meter.record_fault_detected(self.rank)
+            return
+        # stash (in-sequence or early) and let _drain deliver/recover; an
+        # early arrival with a missing predecessor is the gap _drain spots
+        self._ooo.setdefault(source, {})[env.seq] = env
+        self._drain(source)
+
+    def _drain(self, source: int) -> None:
+        """Deliver in-sequence envelopes; recover gaps and corruption.
+
+        A *gap* (the expected message absent while a successor is stashed)
+        is proof of a drop — by the store-before-enqueue invariant the
+        sender's buffer holds the missing envelope, so it is pulled
+        immediately.  A CRC mismatch likewise triggers an immediate pull.
+        """
+        meter = self._state.meter
+        stash = self._ooo.setdefault(source, {})
+        while True:
+            expected = self._expected.get(source, 0)
+            env = stash.pop(expected, None)
+            if env is not None:
+                if payload_checksum(env.payload) == env.crc:
+                    self._deliver(source, env)
+                    continue
+                # corruption detected: the clean copy sits in the buffer
+                meter.record_fault_detected(self.rank)
+                self._pull(source, expected, lost=False)
+                continue
+            if stash:
+                # a successor arrived but the expected message did not:
+                # evidence of a drop — pull a retransmit right away
+                meter.record_fault_detected(self.rank)
+                self._pull(source, expected, lost=True)
+                continue
+            return
+
+    def _deliver(self, source: int, env: Envelope) -> None:
+        """Hand one verified, in-sequence envelope to the inbox (and ack it)."""
+        self._expected[source] = env.seq + 1
+        ch = self._state.channel(source, self.rank)
+        with ch.lock:
+            # piggybacked ack: the sender's retransmit buffer frees the slot
+            ch.unacked.pop(env.seq, None)
+        self._inbox.setdefault(source, deque()).append((env.tag, env.payload))
+        self._pull_backoff.pop(source, None)
+
+    def _pull(self, source: int, seq: int, lost: bool) -> None:
+        """Pull retransmits of message ``seq`` until one verifies.
+
+        Bounded by the plan's ``max_retransmits`` budget; exhausting it
+        raises the typed error (:class:`LostMessageError` for drops,
+        :class:`CorruptFrameError` for corruption) through ``_state.fail``
+        so every rank aborts promptly.  Only ``corrupt`` rules may strike a
+        retransmit, so the loop terminates for every other fault kind.
+        """
+        state = self._state
+        meter = state.meter
+        injector = state.injector
+        ch = state.channel(source, self.rank)
+        budget = injector.plan.max_retransmits
+        attempts = 0
+        while attempts < budget:
+            attempts += 1
+            with ch.lock:
+                entry = ch.unacked.get(seq)
+            if entry is None:
+                # ack raced us (a late duplicate delivered it); nothing to do
+                return
+            env, env_bytes = entry
+            meter.record_retry(self.rank)
+            # a retransmit repeats the envelope's wire cost without being
+            # origin volume — accounted like forwarded traffic
+            meter.record_retransmit(source, self.rank, env_bytes, phase=self._phase)
+            action = injector.on_retransmit(source, self.rank, self._phase)
+            if action is not None and action.kind == "corrupt":
+                # the retransmit was struck too (one more injected fault on
+                # the sender's wire); detected, try again
+                meter.record_fault_injected(source)
+                meter.record_fault_detected(self.rank)
+                continue
+            self._deliver(source, env)
+            return
+        kind = "lost" if lost else "corrupt"
+        message = (
+            f"rank {self.rank}: message seq {seq} from rank {source} still "
+            f"{kind} after {budget} retransmits (fault-plan budget exhausted)"
+        )
+        exc: FaultError = (
+            LostMessageError(message) if lost else CorruptFrameError(message)
+        )
+        state.fail(exc)
+        raise exc
+
+    def _maybe_backoff_pull(self, source: int) -> None:
+        """Drop detector of last resort: pull after an exponential backoff.
+
+        A dropped *final* message on a channel leaves no successor to prove
+        the gap, so an idle receiver arms a deadline; if the expected
+        sequence number is still sitting unacked in the sender's buffer when
+        it expires, the receiver pulls a retransmit.  Each miss doubles the
+        wait so a merely-slow sender is not flooded with pulls.
+        """
+        expected = self._expected.get(source, 0)
+        ch = self._state.channel(source, self.rank)
+        with ch.lock:
+            pending = expected in ch.unacked
+        if not pending:
+            # nothing outstanding at this seq: sender never sent it (or the
+            # ack landed); disarm so a future gap restarts the clock
+            self._pull_backoff.pop(source, None)
+            return
+        now = time.monotonic()
+        armed = self._pull_backoff.get(source)
+        delay = self._state.injector.plan.retry_delay
+        if armed is None:
+            self._pull_backoff[source] = [now + delay, delay]
+            return
+        if now < armed[0]:
+            return
+        # deadline passed and the envelope is still unacked: treat as dropped
+        armed[1] *= 2.0
+        armed[0] = now + armed[1]
+        self._state.meter.record_fault_detected(self.rank)
+        self._pull(source, expected, lost=True)
+        self._drain(source)
 
     # ------------------------------------------------------------------ collectives
     def barrier(self) -> None:
@@ -451,10 +798,17 @@ class ThreadComm(Communicator):
         snapshot = self._board_exchange(value)
         size = wire_size(value)
         if self.rank != root:
+            # each rank contributes its *own* value's wire size (values may
+            # differ per rank — e.g. variable-length payloads)
             self._state.meter.record_send(self.rank, root, size)
         result = ReduceOp.apply(op, snapshot)
         if self.rank == root:
-            self._state.meter.record_collective("reduce", size, self.size, self._phase)
+            # the collective event carries the bottleneck (largest) value,
+            # computed from the board snapshot rather than root's own value
+            event_size = max((wire_size(v) for v in snapshot), default=0)
+            self._state.meter.record_collective(
+                "reduce", event_size, self.size, self._phase
+            )
             return result
         return None
 
@@ -463,11 +817,15 @@ class ThreadComm(Communicator):
         snapshot = self._board_exchange(value)
         size = wire_size(value)
         if self.size > 1:
+            # ring accounting: each rank ships its *own* value's wire size
+            # to its successor (per-rank sizes may differ)
             next_rank = (self.rank + 1) % self.size
             self._state.meter.record_send(self.rank, next_rank, size)
         if self.rank == 0:
+            # collective event volume = bottleneck value across the board
+            event_size = max((wire_size(v) for v in snapshot), default=0)
             self._state.meter.record_collective(
-                "allreduce", size, self.size, self._phase
+                "allreduce", event_size, self.size, self._phase
             )
         return ReduceOp.apply(op, snapshot)
 
@@ -509,11 +867,24 @@ class ThreadEngine:
     #: registry name of this backend
     name = "threads"
 
-    def __init__(self, num_pes: int, timeout: float = _DEFAULT_TIMEOUT):
+    def __init__(
+        self,
+        num_pes: int,
+        timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
         self.num_pes = num_pes
-        self.timeout = timeout
+        # None -> the process-wide default (REPRO_SPMD_TIMEOUT env or 600 s)
+        self.timeout = default_timeout() if timeout is None else timeout
+        #: the installed chaos schedule, or None for the zero-overhead path
+        self.fault_plan = fault_plan
+        # the injector outlives individual runs so single-shot rules (e.g.
+        # crash-once) stay consumed across a session-level retry
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
         self._state: Optional[_SharedState] = None
         # one machine runs one SPMD program at a time: concurrent run()
         # calls on the same engine serialise here (sharing one barrier and
@@ -529,7 +900,12 @@ class ThreadEngine:
             self._state.reset(meter, timeout)
             self.state_reuses += 1
             return self._state
-        return _SharedState(num_pes=self.num_pes, meter=meter, timeout=timeout)
+        return _SharedState(
+            num_pes=self.num_pes,
+            meter=meter,
+            timeout=timeout,
+            injector=self._injector,
+        )
 
     def run(
         self,
@@ -632,6 +1008,10 @@ def register_engine(name: str, factory: Callable[..., Any]) -> None:
 
     ``factory(num_pes, timeout=...)`` must return an object with the
     :class:`ThreadEngine` surface (a ``run`` method with the same signature).
+    Backends that support chaos testing additionally accept the optional
+    ``fault_plan=`` keyword (a :class:`repro.faults.FaultPlan`); callers
+    only pass it when a plan is actually installed, so factories without
+    the seam keep working.
     """
     if not name:
         raise ValueError("engine name must be a non-empty string")
@@ -657,14 +1037,18 @@ def run_spmd(
     args_per_rank: Optional[Sequence[Tuple]] = None,
     common_args: Tuple = (),
     meter: Optional[TrafficMeter] = None,
-    timeout: float = _DEFAULT_TIMEOUT,
+    timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[List[Any], TrafficReport]:
     """Run one SPMD program on a throwaway simulated machine.
 
     The one-shot convenience wrapper around :class:`ThreadEngine` (which
     long-lived callers — e.g. :class:`repro.session.Cluster` — hold on to
     for machine reuse); see :meth:`ThreadEngine.run` for the parameters.
+    ``timeout=None`` resolves via :func:`default_timeout` (the
+    ``REPRO_SPMD_TIMEOUT`` environment variable, or 600 s); ``fault_plan``
+    installs a :class:`repro.faults.FaultPlan` chaos schedule.
     """
-    return ThreadEngine(num_pes, timeout=timeout).run(
+    return ThreadEngine(num_pes, timeout=timeout, fault_plan=fault_plan).run(
         fn, args_per_rank=args_per_rank, common_args=common_args, meter=meter
     )

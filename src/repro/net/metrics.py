@@ -82,6 +82,17 @@ class TrafficReport:
     # the folded inputs (see fold_traffic_report)
     overlap_weighted: Dict[str, float] = field(default_factory=dict)
     overlap_weight: Dict[str, float] = field(default_factory=dict)
+    # fault-mode counters (repro.faults): per-PE injected faults (charged to
+    # the struck rank), detected faults and recovery retries (charged to the
+    # detecting receiver), and retransmitted wire bytes (recovery traffic,
+    # excluded from origin volume); all zero outside fault mode
+    faults_injected_per_pe: List[int] = field(default_factory=list)
+    faults_detected_per_pe: List[int] = field(default_factory=list)
+    retries_per_pe: List[int] = field(default_factory=list)
+    retransmitted_bytes_per_pe: List[int] = field(default_factory=list)
+    #: whole-job re-runs a session performed after failed attempts
+    #: (``Cluster.sort(..., max_retries=N)``); folds additively
+    job_retries: int = 0
 
     # -- aggregate helpers ---------------------------------------------------------
     @property
@@ -105,9 +116,40 @@ class TrafficReport:
         Every bucket leaves its origin exactly once regardless of delivery
         strategy, so this equals ``total_bytes_sent`` under direct delivery
         and is **bit-identical across exchange topologies** (pinned by
-        ``tests/test_exchange_topologies.py``).
+        ``tests/test_exchange_topologies.py``).  Recovery traffic
+        (retransmits, injected duplicates) is likewise excluded: a recovered
+        chaos run reports the same origin volume as its fault-free baseline.
         """
-        return self.total_bytes_sent - self.forwarded_bytes
+        return (
+            self.total_bytes_sent - self.forwarded_bytes - self.retransmitted_bytes
+        )
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults injected by the active fault plan, summed over all PEs."""
+        return sum(self.faults_injected_per_pe)
+
+    @property
+    def faults_detected(self) -> int:
+        """Detected fault events (CRC mismatches, sequence gaps, duplicates,
+        crashes), summed over all PEs."""
+        return sum(self.faults_detected_per_pe)
+
+    @property
+    def retries(self) -> int:
+        """Recovery attempts: per-message retransmit pulls summed over all
+        PEs, plus whole-job re-runs (:attr:`job_retries`)."""
+        return sum(self.retries_per_pe) + self.job_retries
+
+    @property
+    def retransmitted_bytes(self) -> int:
+        """Wire bytes of recovery traffic (retransmits and duplicates).
+
+        Counted inside :attr:`total_bytes_sent` but excluded from
+        :attr:`origin_bytes_sent` — a retransmitted bucket still left its
+        origin exactly once.
+        """
+        return sum(self.retransmitted_bytes_per_pe)
 
     @property
     def max_bytes_sent(self) -> int:
@@ -203,6 +245,10 @@ _PER_PE_FIELDS = (
     "chars_inspected_per_pe",
     "items_processed_per_pe",
     "forwarded_bytes_per_pe",
+    "faults_injected_per_pe",
+    "faults_detected_per_pe",
+    "retries_per_pe",
+    "retransmitted_bytes_per_pe",
 )
 
 _PHASE_DICT_FIELDS = (
@@ -224,6 +270,10 @@ def zero_traffic_report(num_pes: int) -> "TrafficReport":
         chars_inspected_per_pe=[0] * num_pes,
         items_processed_per_pe=[0] * num_pes,
         forwarded_bytes_per_pe=[0] * num_pes,
+        faults_injected_per_pe=[0] * num_pes,
+        faults_detected_per_pe=[0] * num_pes,
+        retries_per_pe=[0] * num_pes,
+        retransmitted_bytes_per_pe=[0] * num_pes,
     )
 
 
@@ -293,6 +343,7 @@ def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> Non
             target.overlap_weighted.setdefault(phase, 0.0)
             target.overlap_weight.setdefault(phase, 0.0)
     target.collectives.extend(report.collectives)
+    target.job_retries += report.job_retries
 
 
 def merge_traffic_reports(reports: List["TrafficReport"]) -> "TrafficReport":
@@ -327,6 +378,10 @@ class TrafficMeter:
         self._overlap_window: Dict[str, float] = defaultdict(float)
         self._forwarded = [0] * num_pes
         self._route_bytes: Dict[str, int] = defaultdict(int)
+        self._faults_injected = [0] * num_pes
+        self._faults_detected = [0] * num_pes
+        self._retries = [0] * num_pes
+        self._retransmitted = [0] * num_pes
 
     # ------------------------------------------------------------------ phases
     def set_phase(self, rank: int, phase: str) -> None:
@@ -394,6 +449,43 @@ class TrafficMeter:
             self._forwarded[rank] += forwarded
             self._route_bytes[route] += nbytes
 
+    def record_fault_injected(self, rank: int) -> None:
+        """Count one injected fault against ``rank`` (the struck PE)."""
+        with self._lock:
+            self._faults_injected[rank] += 1
+
+    def record_fault_detected(self, rank: int) -> None:
+        """Count one detected fault event at ``rank`` (the detecting PE)."""
+        with self._lock:
+            self._faults_detected[rank] += 1
+
+    def record_retry(self, rank: int) -> None:
+        """Count one recovery retry (retransmit pull) initiated by ``rank``."""
+        with self._lock:
+            self._retries[rank] += 1
+
+    def record_retransmit(
+        self, src: int, dst: int, nbytes: int, phase: Optional[str] = None
+    ) -> None:
+        """Record recovery traffic of ``nbytes`` from ``src`` to ``dst``.
+
+        Like :meth:`record_send` — the bytes enter the per-PE sent/received
+        totals, message counts and phase attribution — but additionally
+        tallied as retransmitted, which :attr:`TrafficReport.origin_bytes_sent`
+        subtracts: recovery traffic must never inflate the paper's
+        communication-volume metric.
+        """
+        if src == dst:
+            return
+        with self._lock:
+            self._sent[src] += nbytes
+            self._received[dst] += nbytes
+            self._messages[src] += 1
+            self._retransmitted[src] += nbytes
+            if phase is None:
+                phase = self._phases.get(src, "unlabelled")
+            self._phase_bytes[phase] += nbytes
+
     def record_collective(
         self,
         kind: str,
@@ -431,4 +523,8 @@ class TrafficMeter:
                 overlap_window_seconds=dict(self._overlap_window),
                 forwarded_bytes_per_pe=list(self._forwarded),
                 route_bytes=dict(self._route_bytes),
+                faults_injected_per_pe=list(self._faults_injected),
+                faults_detected_per_pe=list(self._faults_detected),
+                retries_per_pe=list(self._retries),
+                retransmitted_bytes_per_pe=list(self._retransmitted),
             )

@@ -27,9 +27,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..dist.api import DSortResult, RankOutput, distribute_strings
 from ..dist.exchange import use_async_exchange, use_exchange_topology
+from ..faults.checksum import use_wire_checksums
+from ..faults.plan import FaultPlan
+from ..net.metrics import TrafficMeter, TrafficReport
 from ..net.router import TOPOLOGY_NAMES
 from ..mpi.comm import Communicator
-from ..mpi.engine import SpmdError, get_engine
+from ..mpi.engine import SpmdError, default_timeout, get_engine
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
 from ..strings.checker import check_distributed_sort, check_prefix_permutation
 from ..strings.packed import PackedStringArray, use_packed
@@ -101,7 +104,25 @@ class Cluster:
         volume (forwarded bytes are attributed separately), never sorted
         outputs, LCP arrays or origin wire bytes.
     timeout:
-        Deadlock-detection timeout per blocking operation, in seconds.
+        Deadlock-detection timeout per blocking operation, in seconds;
+        ``None`` (default) inherits the process-level setting (the
+        ``REPRO_SPMD_TIMEOUT`` environment variable, or 600 s).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` chaos schedule, installed
+        into the engine: point-to-point messages travel in checksummed,
+        sequence-numbered envelopes and the plan's seeded rules inject
+        drops, duplicates, delays, corruption, crashes and stragglers (see
+        ``docs/FAULTS.md``).  ``None`` (default) keeps the zero-overhead
+        wire format.
+    wire_checksums:
+        Per-cluster version of the ``REPRO_WIRE_CHECKSUMS`` toggle: ``True``
+        / ``False`` force CRC32 seals on the exchange's wire formats
+        (:class:`~repro.dist.exchange.StringBlock` /
+        :class:`~repro.dist.exchange.LcpCompressedBlock` /
+        :class:`~repro.net.router.RouteFrame`) on or off for sorts on this
+        cluster, ``None`` (default) inherits the process-level setting.
+        Seals add 4 bytes per block (plus a varint sequence number per
+        routed frame) to the accounted wire volume.
     registry:
         The :class:`~repro.session.AlgorithmRegistry` resolving algorithm
         names; defaults to the process-wide registry.
@@ -116,7 +137,9 @@ class Cluster:
         packed: Optional[bool] = None,
         async_exchange: Optional[bool] = None,
         exchange_topology: Optional[str] = None,
-        timeout: float = 600.0,
+        timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        wire_checksums: Optional[bool] = None,
         registry: Optional[AlgorithmRegistry] = None,
     ):
         if num_pes <= 0:
@@ -131,10 +154,17 @@ class Cluster:
         self.packed = packed
         self.async_exchange = async_exchange
         self.exchange_topology = exchange_topology
-        self.timeout = timeout
+        self.timeout = default_timeout() if timeout is None else timeout
+        self.fault_plan = fault_plan
+        self.wire_checksums = wire_checksums
         self.registry = registry if registry is not None else default_registry()
         self.engine_name = engine
-        self._engine = get_engine(engine)(num_pes, timeout=timeout)
+        # only pass the fault seam when a plan is installed: third-party
+        # engine factories without the keyword keep working untouched
+        engine_kwargs: Dict[str, Any] = {"timeout": self.timeout}
+        if fault_plan is not None:
+            engine_kwargs["fault_plan"] = fault_plan
+        self._engine = get_engine(engine)(num_pes, **engine_kwargs)
         # serialises toggle application *together with* the run: the engine
         # has its own run lock, but the packed/async windows must cover the
         # whole run of the sort they belong to, not interleave with a
@@ -165,6 +195,8 @@ class Cluster:
                 stack.enter_context(use_async_exchange(self.async_exchange))
             if self.exchange_topology is not None:
                 stack.enter_context(use_exchange_topology(self.exchange_topology))
+            if self.wire_checksums is not None:
+                stack.enter_context(use_wire_checksums(self.wire_checksums))
             yield
 
     def _resolve_spec(
@@ -201,6 +233,29 @@ class Cluster:
             return blocks
         return distribute_strings(data, self.num_pes, by=spec.distribute_by)
 
+    @staticmethod
+    def _fold_failed_attempts(
+        report: TrafficReport, failed: List[TrafficReport]
+    ) -> None:
+        """Carry the fault counters of failed attempts into the final report.
+
+        A crashed attempt's traffic is discarded (the retry reruns it from
+        scratch, so folding its bytes would double-charge the wire), but its
+        *fault* counters are part of the job's story: without them a
+        crash-then-retry job would report zero injected faults and the
+        chaos suite could not reconcile the report against the plan.
+        """
+        for fr in failed:
+            for target, source in (
+                (report.faults_injected_per_pe, fr.faults_injected_per_pe),
+                (report.faults_detected_per_pe, fr.faults_detected_per_pe),
+                (report.retries_per_pe, fr.retries_per_pe),
+            ):
+                for i, v in enumerate(source):
+                    if v and i < len(target):
+                        target[i] += v
+        report.job_retries += len(failed)
+
     # ------------------------------------------------------------------ sorting
     def sort(
         self,
@@ -210,6 +265,7 @@ class Cluster:
         algorithm: Optional[str] = None,
         check: bool = False,
         pre_distributed: bool = False,
+        max_retries: int = 0,
     ) -> DSortResult:
         """Sort ``data`` on this cluster; returns a :class:`DSortResult`.
 
@@ -231,7 +287,17 @@ class Cluster:
         pre_distributed:
             ``data`` is already one block per PE; ``spec.distribute_by`` is
             ignored.
+        max_retries:
+            Re-run a failed SPMD job up to this many times (default 0: fail
+            fast).  The engine rebuilds its poisoned shared state
+            transparently between attempts, so a rank crash injected by a
+            single-shot fault rule is recovered by the next attempt.  The
+            returned report is the *successful* attempt's traffic plus the
+            failed attempts' fault counters (``job_retries`` records how
+            many attempts failed).
         """
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         spec = self._resolve_spec(spec, algorithm)
         entry = self.registry.get(type(spec).algorithm)
         blocks = self._distribute(data, spec, pre_distributed)
@@ -240,9 +306,24 @@ class Cluster:
             return entry.runner(comm, local, spec)
 
         with self._sort_lock, self._scoped_toggles():
-            results, report = self._engine.run(
-                rank_program, args_per_rank=[(b,) for b in blocks]
-            )
+            failed_reports: List[TrafficReport] = []
+            while True:
+                meter = TrafficMeter(self.num_pes)
+                try:
+                    results, report = self._engine.run(
+                        rank_program,
+                        args_per_rank=[(b,) for b in blocks],
+                        meter=meter,
+                    )
+                    break
+                except SpmdError:
+                    if len(failed_reports) >= max_retries:
+                        raise
+                    # keep the failed attempt's fault counters; the engine's
+                    # next run transparently rebuilds the poisoned state
+                    failed_reports.append(meter.report())
+            if failed_reports:
+                self._fold_failed_attempts(report, failed_reports)
 
         outputs = [r.strings for r in results]
         lcps = [r.lcps for r in results]
@@ -278,6 +359,7 @@ class Cluster:
         *,
         algorithm: Optional[str] = None,
         check: bool = False,
+        max_retries: int = 0,
     ) -> BatchStream:
         """Sort an iterable of chunks one at a time (streaming ingest).
 
@@ -290,6 +372,12 @@ class Cluster:
         the per-batch results, or call :meth:`~repro.session.stream.BatchStream.run`
         to drain it; its ``merged_report`` always covers exactly the batches
         sorted so far (totals equal to the sum of the per-batch reports).
+
+        ``max_retries`` is forwarded to each batch's :meth:`sort`; completed
+        batches are checkpointed by the stream, so a batch that fails even
+        after its retries can be re-attempted by calling ``next()`` again —
+        the stream resumes at the failed chunk, never re-sorting (or
+        skipping) earlier ones.
         """
         spec = self._resolve_spec(spec, algorithm)
-        return BatchStream(self, batches, spec, check=check)
+        return BatchStream(self, batches, spec, check=check, max_retries=max_retries)

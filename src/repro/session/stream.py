@@ -23,9 +23,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["BatchStream"]
 
+#: sentinel: no chunk is pending resumption (``None`` could be a real chunk)
+_NO_CHUNK = object()
+
 
 class BatchStream:
     """Lazy iterator of per-batch sort results with a running merged report.
+
+    Completed batches are checkpointed: if a batch's sort raises (e.g. a
+    fault-plan crash that survived its ``max_retries``), the pulled chunk is
+    retained and the *next* ``next()`` call re-sorts that same chunk instead
+    of pulling a fresh one — a mid-stream crash never skips or re-sorts
+    data, it resumes exactly at the failed batch.
 
     Attributes
     ----------
@@ -44,11 +53,15 @@ class BatchStream:
         spec: SortSpec,
         *,
         check: bool = False,
+        max_retries: int = 0,
     ):
         self._cluster = cluster
         self._source: Iterator[Sequence] = iter(batches)
         self.spec = spec
         self._check = check
+        self._max_retries = max_retries
+        # the checkpoint: a chunk whose sort failed, awaiting resumption
+        self._pending: object = _NO_CHUNK
         self.batches_done = 0
         self.num_strings = 0
         self.num_chars = 0
@@ -60,9 +73,19 @@ class BatchStream:
         return self
 
     def __next__(self) -> DSortResult:
-        """Pull, sort and account the next chunk; ``StopIteration`` at the end."""
-        chunk = next(self._source)  # StopIteration propagates: stream drained
-        result = self._cluster.sort(chunk, self.spec, check=self._check)
+        """Pull, sort and account the next chunk; ``StopIteration`` at the end.
+
+        A failed sort leaves the chunk checkpointed: the next call retries
+        it rather than pulling (and silently dropping) a fresh chunk.
+        """
+        if self._pending is _NO_CHUNK:
+            # StopIteration propagates: stream drained
+            self._pending = next(self._source)
+        result = self._cluster.sort(
+            self._pending, self.spec, check=self._check,
+            max_retries=self._max_retries,
+        )
+        self._pending = _NO_CHUNK
         self.batches_done += 1
         self.num_strings += result.num_strings
         self.num_chars += result.num_chars

@@ -278,3 +278,76 @@ class TestRecvDeadlockClock:
 
         results, _ = run_spmd(2, prog, timeout=5.0)
         assert results[0] == b"payload"
+
+
+class TestEngineStateReuse:
+    """Machine reuse vs. transparent rebuild of poisoned shared state.
+
+    A :class:`ThreadEngine` keeps its barrier/queues across clean runs
+    (``state_reuses`` counts those), but a failed run can leave the barrier
+    broken or messages stranded in a queue — the next run must rebuild the
+    state transparently, and the rebuild must NOT count as a reuse.
+    """
+
+    @staticmethod
+    def _engine(num_pes=2, timeout=5.0):
+        from repro.mpi.engine import ThreadEngine
+
+        return ThreadEngine(num_pes, timeout=timeout)
+
+    def test_clean_runs_reuse_state(self):
+        eng = self._engine()
+        for _ in range(3):
+            eng.run(lambda comm: comm.sendrecv(comm.rank, 1 - comm.rank))
+        assert eng.runs_completed == 3
+        assert eng.state_reuses == 2  # first run builds, the next two reuse
+
+    def test_rank_exception_poisons_state(self):
+        eng = self._engine()
+
+        def boom(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError, match="boom"):
+            eng.run(boom)
+        # the next run rebuilds (broken barrier), succeeds, and the rebuild
+        # is not counted as a reuse
+        results, _ = eng.run(lambda comm: comm.rank)
+        assert results == [0, 1]
+        assert eng.state_reuses == 0
+        # ... and the rebuilt state is reusable again afterwards
+        eng.run(lambda comm: comm.rank)
+        assert eng.state_reuses == 1
+
+    def test_stray_queued_message_prevents_reuse(self):
+        eng = self._engine()
+
+        def leaky(comm):
+            # rank 0 sends a message nobody ever receives
+            if comm.rank == 0:
+                comm.send(b"stray", 1)
+            comm.barrier()
+
+        eng.run(leaky)
+        # queue (0, 1) still holds the stray message: state is not clean
+        results, _ = eng.run(lambda comm: comm.rank)
+        assert results == [0, 1]
+        assert eng.state_reuses == 0
+
+    def test_failed_then_clean_runs_keep_results_correct(self):
+        eng = self._engine()
+
+        def flaky(comm, fail):
+            if fail and comm.rank == 1:
+                raise ValueError("injected")
+            return comm.sendrecv(comm.rank * 10, 1 - comm.rank)
+
+        with pytest.raises(SpmdError):
+            eng.run(flaky, common_args=(True,))
+        results, report = eng.run(flaky, common_args=(False,))
+        assert results == [10, 0]
+        # per-run meters: the failed attempt's bytes must not leak in
+        _, clean_report = self._engine().run(flaky, common_args=(False,))
+        assert report.total_bytes_sent == clean_report.total_bytes_sent

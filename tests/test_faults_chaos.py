@@ -1,0 +1,134 @@
+"""The chaos matrix: seeded fault plans across algorithms and topologies.
+
+The acceptance contract of the fault subsystem: under seeded drop / corrupt
+/ straggle plans, every algorithm x topology x exchange-mode combination
+either completes with **bit-identical** outputs, LCP arrays and origin wire
+bytes (after transparent recovery), or raises a typed fault error — never a
+hang past the configured timeout, never silently wrong output.  Crash plans
+recover through ``Cluster.sort(..., max_retries=...)``.
+
+``faults_injected`` is reconciled exactly against the injector (both count
+the same fired rules); ``faults_detected`` / ``retries`` are asserted as
+lower bounds here because an idle receiver's backoff pull may race a slow
+sender and benignly re-pull a message that was merely late (the duplicate
+is discarded, outputs and origin bytes are unaffected).  The exact-count
+assertions live in the controlled scenarios of
+``tests/test_faults_injection.py``.
+
+Set ``REPRO_CHAOS_SEED`` to sweep other plan seeds (the CI fault-matrix job
+runs three).
+"""
+
+import os
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule
+from repro.session import Cluster
+
+ALGORITHMS = ("ms", "ms-simple", "pdms", "pdms-golomb", "hquick", "fkmerge")
+TOPOLOGIES = ("direct", "hypercube", "grid")
+NUM_PES = 4
+TIMEOUT = 30.0
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def _workload():
+    from repro.strings.generators import dn_instance
+
+    return dn_instance(80, 0.5, length=40, seed=5)
+
+
+def _plan(kind: str) -> FaultPlan:
+    """A seeded plan striking a handful of messages of the given kind."""
+    if kind == "straggle":
+        return FaultPlan(
+            seed=CHAOS_SEED,
+            rules=(FaultRule(kind="straggle", rank=1, seconds=0.02, max_hits=2),),
+        )
+    # message rules: strike a few messages across two channels
+    return FaultPlan(
+        seed=CHAOS_SEED,
+        rules=(
+            FaultRule(kind=kind, src=0, max_hits=2),
+            FaultRule(kind=kind, dst=2, max_hits=1),
+        ),
+        retry_delay=0.01,
+    )
+
+
+def _sort(algorithm, topology, async_exchange, plan=None, max_retries=0):
+    cluster = Cluster(
+        num_pes=NUM_PES,
+        async_exchange=async_exchange,
+        exchange_topology=topology,
+        timeout=TIMEOUT,
+        fault_plan=plan,
+    )
+    data = _workload()
+    result = cluster.sort(data, "ms" if algorithm is None else algorithm,
+                          check=True, max_retries=max_retries)
+    return cluster, result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("async_exchange", (False, True),
+                         ids=("sync", "async"))
+@pytest.mark.parametrize("fault_kind", ("drop", "corrupt", "straggle"))
+def test_chaos_recovery_is_bit_identical(
+    algorithm, topology, async_exchange, fault_kind
+):
+    """Seeded chaos either recovers bit-identically or raises typed errors."""
+    _, baseline = _sort(algorithm, topology, async_exchange, plan=FaultPlan())
+    plan = _plan(fault_kind)
+    cluster, chaotic = _sort(algorithm, topology, async_exchange, plan=plan)
+
+    # bit-identical recovery: outputs, LCPs and origin wire volume
+    assert chaotic.outputs_per_pe == baseline.outputs_per_pe
+    assert chaotic.lcps_per_pe == baseline.lcps_per_pe
+    assert (
+        chaotic.report.origin_bytes_sent == baseline.report.origin_bytes_sent
+    )
+
+    # the report's injection counter reconciles exactly with the engine's
+    # injector: every fault the plan fired is accounted for, none invented
+    report = chaotic.report
+    assert report.faults_injected == cluster.engine._injector.total_injected
+
+    if fault_kind in ("drop", "corrupt"):
+        # every injected message fault must have been detected and repaired
+        assert report.faults_detected >= report.faults_injected
+        assert report.retries >= report.faults_injected
+        if report.faults_injected:
+            assert report.retransmitted_bytes > 0
+    else:  # straggle: slowdown only, nothing to detect or retransmit
+        assert report.faults_injected >= 1
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_chaos_crash_recovers_via_session_retry(algorithm):
+    """A single-shot rank crash is survived by ``max_retries`` on any algorithm."""
+    _, baseline = _sort(algorithm, None, False, plan=FaultPlan())
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        rules=(FaultRule(kind="crash", rank=1, after=1, max_hits=1),),
+    )
+    _, recovered = _sort(algorithm, None, False, plan=plan, max_retries=2)
+    assert recovered.outputs_per_pe == baseline.outputs_per_pe
+    assert recovered.lcps_per_pe == baseline.lcps_per_pe
+    assert recovered.report.faults_injected == 1
+    assert recovered.report.job_retries == 1
+
+
+def test_chaos_plans_replay_identically():
+    """Two runs of one plan produce identical fault schedules and reports."""
+    plan = _plan("drop")
+    _, first = _sort("ms", "hypercube", False, plan=plan)
+    _, second = _sort("ms", "hypercube", False, plan=plan)
+    assert first.outputs_per_pe == second.outputs_per_pe
+    assert (
+        first.report.faults_injected_per_pe
+        == second.report.faults_injected_per_pe
+    )
