@@ -122,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "forwarded routing bytes are reported separately",
     )
     p_sort.add_argument(
+        "--engine", default=None,
+        help="execution backend: threads (simulated, default) or processes "
+        "(real OS processes with shared-memory payload transport); outputs "
+        "and wire bytes are bit-identical across engines (default: the "
+        "REPRO_ENGINE environment variable, or threads)",
+    )
+    p_sort.add_argument(
         "--timeout", type=float, default=None,
         help="deadlock-detection timeout per blocking operation, in seconds "
         "(default: the REPRO_SPMD_TIMEOUT environment variable, or 600)",
@@ -210,19 +217,27 @@ def _cmd_sort(args) -> int:
     # environment setting (or the default, off) stays in charge
     cluster = Cluster(
         num_pes=args.num_pes,
+        engine=args.engine,
         async_exchange=True if args.async_exchange else None,
         exchange_topology=args.exchange_topology,
         timeout=args.timeout,
         fault_plan=plan,
     )
-    result = cluster.sort(data, spec, check=args.check, max_retries=args.max_retries)
+    with cluster:
+        result = cluster.sort(
+            data, spec, check=args.check, max_retries=args.max_retries
+        )
     report = result.report
     print(f"algorithm          : {result.algorithm}")
     print(f"config hash        : {spec.config_hash()}")
+    print(f"engine             : {cluster.engine_name}")
     print(f"simulated PEs      : {args.num_pes}")
     print(f"strings / chars    : {result.num_strings} / {result.num_chars}")
     print(f"input D/N          : {dn_ratio(data):.3f}")
     print(f"total bytes sent   : {report.total_bytes_sent}")
+    if report.transported_bytes > 0:
+        print(f"transported bytes  : {report.transported_bytes} "
+              "(real pipe frames + shared-memory payloads)")
     if report.forwarded_bytes > 0:
         from .dist.exchange import exchange_topology_name
 

@@ -550,6 +550,7 @@ def dsort(
     seed: int = 0,
     timeout: Optional[float] = None,
     distribute_by: str = "strings",
+    engine: Optional[str] = None,
     **options: Any,
 ) -> DSortResult:
     """Sort a string array on a throwaway simulated machine (legacy facade).
@@ -589,6 +590,12 @@ def dsort(
     distribute_by:
         Input distribution criterion: ``"strings"`` balances string counts,
         ``"chars"`` balances character mass (for length-skewed workloads).
+    engine:
+        Execution backend name (``"threads"``, ``"processes"``, or a
+        registered third-party backend); ``None`` (default) inherits the
+        process-level setting (the ``REPRO_ENGINE`` environment variable,
+        or ``"threads"``).  Outputs, LCP arrays and wire bytes are
+        bit-identical across engines.
     options:
         Deprecated algorithm knobs: ``sampling``, ``sample_sort``,
         ``local_sorter``, ``oversampling``, ``epsilon``,
@@ -617,5 +624,5 @@ def dsort(
     else:
         num_pes = 8 if num_pes is None else num_pes
 
-    cluster = Cluster(num_pes=num_pes, timeout=timeout)
-    return cluster.sort(data, spec, check=check, pre_distributed=pre_distributed)
+    with Cluster(num_pes=num_pes, timeout=timeout, engine=engine) as cluster:
+        return cluster.sort(data, spec, check=check, pre_distributed=pre_distributed)

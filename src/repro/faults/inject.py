@@ -32,7 +32,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .plan import FaultPlan, FaultRule
 
@@ -183,6 +183,57 @@ class FaultInjector:
                     self._commit(idx, rule, key)
                     fired = self._action(idx, rule, key)
             return fired
+
+    # ------------------------------------------------------------------ cross-process state
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot the whole schedule state for cross-process transport.
+
+        Everything is plain picklable data: per-channel event counts, hit
+        budgets and ``random.Random`` states keyed by ``(rule index,
+        channel)``.  The processes engine forks workers that inherit a copy
+        of the injector; each worker only ever advances the channels it
+        *owns* (message channels are decided at the receiving rank, phase
+        channels at the struck rank), exports its state on exit, and the
+        parent folds the copies back with :meth:`merge_state`.
+        """
+        with self._lock:
+            return {
+                "counts": dict(self._counts),
+                "hits": dict(self._hits),
+                "streams": {k: s.getstate() for k, s in self._streams.items()},
+            }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold one worker's :meth:`export_state` snapshot into this injector.
+
+        Per-channel schedule state is monotonic (counts and hits only grow)
+        and every channel is advanced by exactly one worker, so the merge
+        rule is simple and exact: a channel whose exported event count is
+        ahead of ours replaces our copy wholesale (count, hits, rng state).
+        The per-kind injected totals are rebuilt from the merged hit
+        ledger — valid because :meth:`_commit` is the only mutation point
+        and burns exactly one hit per injection.
+        """
+        with self._lock:
+            for key, count in state["counts"].items():
+                if count <= self._counts.get(key, 0):
+                    continue
+                self._counts[key] = count
+                hits = state["hits"].get(key)
+                if hits is not None:
+                    self._hits[key] = hits
+                stream_state = state["streams"].get(key)
+                if stream_state is not None:
+                    stream = self._streams.get(key)
+                    if stream is None:
+                        stream = random.Random()
+                        self._streams[key] = stream
+                    stream.setstate(stream_state)
+            injected: Dict[str, int] = {}
+            for count_key, hits in self._hits.items():
+                kind = self.plan.rules[count_key[0]].kind
+                injected[kind] = injected.get(kind, 0) + hits
+            self._injected = injected
 
     # ------------------------------------------------------------------ observability
     def injected_counts(self) -> Dict[str, int]:

@@ -1,8 +1,21 @@
-"""Simulated MPI: communicator interface, wire-size accounting, SPMD engine."""
+"""Simulated MPI: communicator interface, wire-size accounting, SPMD engines."""
 
 from .comm import Communicator, ReduceOp, Request, waitall, waitany
-from .engine import ThreadComm, SpmdError, run_spmd
+from .engine import (
+    SpmdError,
+    ThreadComm,
+    ThreadEngine,
+    get_engine,
+    register_engine,
+    resolve_engine_name,
+    run_spmd,
+)
+from .procengine import ProcessEngine, process_engine_available
 from .serialization import wire_size, varint_size, WireSized
+
+# the multiprocessing backend registers itself here (procengine imports
+# engine, never the other way around, so the registry stays cycle-free)
+register_engine("processes", ProcessEngine)
 
 __all__ = [
     "Communicator",
@@ -11,8 +24,14 @@ __all__ = [
     "waitall",
     "waitany",
     "ThreadComm",
+    "ThreadEngine",
+    "ProcessEngine",
+    "process_engine_available",
     "SpmdError",
     "run_spmd",
+    "register_engine",
+    "get_engine",
+    "resolve_engine_name",
     "wire_size",
     "varint_size",
     "WireSized",

@@ -50,6 +50,7 @@ from .comm import Communicator, ReduceOp, Request
 from .serialization import payload_checksum, wire_size
 
 __all__ = [
+    "MeteredComm",
     "ThreadComm",
     "ThreadEngine",
     "SpmdError",
@@ -58,6 +59,7 @@ __all__ = [
     "ENGINES",
     "get_engine",
     "register_engine",
+    "resolve_engine_name",
 ]
 
 # Default ceiling on how long a rank may wait inside a collective or recv
@@ -300,24 +302,76 @@ class _RecvRequest(Request):
         return self._value
 
 
-class ThreadComm(Communicator):
-    """Communicator backed by the thread engine's shared state."""
+class MeteredComm(Communicator):
+    """Engine-independent core of a metered SPMD communicator.
 
-    def __init__(self, rank: int, state: _SharedState):
+    Everything that must be **bit-identical across execution engines** lives
+    here: the accounting hooks, the collective algebra (which edges each
+    collective charges to the meter), the blocking ``recv``/``sendrecv``
+    conveniences, and the fault-mode receive pipeline (sequencing, CRC
+    verification, gap detection, pull-based recovery with exponential
+    backoff).  Concrete engines subclass it and provide only the
+    *transport*: how payloads physically move between ranks.
+
+    Subclasses must implement the hook surface:
+
+    * :attr:`_meter` / :attr:`_injector` — the run's shared
+      :class:`~repro.net.metrics.TrafficMeter` and optional
+      :class:`~repro.faults.inject.FaultInjector`;
+    * :meth:`_barrier_wait` / :meth:`_board_exchange` — the low-level
+      synchronisation primitives the collectives are built on;
+    * :meth:`_fail` — abort the whole run with an exception;
+    * :meth:`_recovery_channel` — per-source :class:`_FaultChannel` holding
+      the retransmit buffer the recovery path pulls from;
+    * ``send`` / ``isend`` / ``irecv`` — the point-to-point transport.
+
+    The thread engine (:class:`ThreadComm`) and the multiprocessing engine
+    (:class:`repro.mpi.procengine.ProcComm`) are the two in-tree
+    implementations; the conformance suite in ``tests/engine_conformance.py``
+    is the executable contract for third-party ones.
+    """
+
+    def __init__(self, rank: int, size: int, fault: bool):
         self.rank = rank
-        self.size = state.num_pes
-        self._state = state
+        self.size = size
         self._phase = "unlabelled"
-        self._pending_recvs: Dict[int, Deque[_RecvRequest]] = {}
+        self._pending_recvs: Dict[int, Deque[Any]] = {}
         #: whether a fault plan is installed (adds envelope framing + recovery)
-        self._fault = state.injector is not None
-        if self._fault:
+        self._fault = fault
+        if fault:
             # receiver-side sequencing state, per source rank
             self._expected: Dict[int, int] = {}
             self._ooo: Dict[int, Dict[int, Envelope]] = {}
             self._inbox: Dict[int, Deque[Tuple[int, Any]]] = {}
             # [deadline, armed] exponential-backoff state of the drop detector
             self._pull_backoff: Dict[int, List[float]] = {}
+
+    # ------------------------------------------------------------------ engine hooks
+    @property
+    def _meter(self) -> TrafficMeter:
+        """The run's shared traffic meter (engine hook)."""
+        raise NotImplementedError
+
+    @property
+    def _injector(self) -> Optional[FaultInjector]:
+        """The installed fault injector, or ``None`` (engine hook)."""
+        raise NotImplementedError
+
+    def _fail(self, exc: BaseException) -> None:
+        """Record ``exc`` and abort the whole run (engine hook)."""
+        raise NotImplementedError
+
+    def _recovery_channel(self, source: int) -> "_FaultChannel":
+        """Fault-channel state of ``source -> self.rank`` (engine hook)."""
+        raise NotImplementedError
+
+    def _barrier_wait(self) -> None:
+        """Block until every rank reaches the same point (engine hook)."""
+        raise NotImplementedError
+
+    def _board_exchange(self, contribution: Any) -> List[Any]:
+        """All ranks contribute one object; everyone observes all of them."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ accounting
     def set_phase(self, name: str) -> None:
@@ -328,12 +382,12 @@ class ThreadComm(Communicator):
         here and ``straggle`` rules put the rank to sleep.
         """
         self._phase = name
-        self._state.meter.set_phase(self.rank, name)
-        injector = self._state.injector
+        meter = self._meter
+        meter.set_phase(self.rank, name)
+        injector = self._injector
         if injector is not None:
             action = injector.on_phase(self.rank, name)
             if action is not None:
-                meter = self._state.meter
                 if action.kind == "crash":
                     meter.record_fault_injected(self.rank)
                     # a crash is trivially "detected": the run aborts loudly
@@ -352,11 +406,11 @@ class ThreadComm(Communicator):
 
     def record_local_work(self, chars: int, items: int = 0) -> None:
         """Charge local character/string work to this rank's meter slot."""
-        self._state.meter.record_local_work(self.rank, chars, items)
+        self._meter.record_local_work(self.rank, chars, items)
 
     def record_overlap(self, overlapped: float, window: float) -> None:
         """Report split-phase overlap seconds under this rank's current phase."""
-        self._state.meter.record_overlap(self.rank, self._phase, overlapped, window)
+        self._meter.record_overlap(self.rank, self._phase, overlapped, window)
 
     def record_exchange_collective(
         self,
@@ -373,7 +427,7 @@ class ThreadComm(Communicator):
         if self.rank == 0:
             if kind is None:
                 kind = "alltoall-hypercube" if hypercube else "alltoall"
-            self._state.meter.record_collective(
+            self._meter.record_collective(
                 kind,
                 max(b for b, _ in stats),
                 self.size,
@@ -383,7 +437,321 @@ class ThreadComm(Communicator):
 
     def record_route(self, route: str, nbytes: int, forwarded: int) -> None:
         """Attribute one routed batch (full wire size + forwarded share)."""
-        self._state.meter.record_route(self.rank, route, nbytes, forwarded)
+        self._meter.record_route(self.rank, route, nbytes, forwarded)
+
+    # ------------------------------------------------------------------ blocking p2p
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive: post an ``irecv`` and wait for it."""
+        return self.irecv(source, tag).wait()
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0, nbytes: Optional[int] = None) -> Any:
+        """Symmetric exchange with ``peer`` (both sides must call this)."""
+        self.send(obj, peer, tag, nbytes)
+        return self.recv(peer, tag)
+
+    # ------------------------------------------------------------------ fault-mode receive path
+    def _accept(self, source: int, env: Envelope) -> None:
+        """Sequence one arrived envelope: discard stale, stash early, drain."""
+        expected = self._expected.get(source, 0)
+        if env.seq < expected:
+            # duplicate of an already-delivered message: detected and dropped
+            self._meter.record_fault_detected(self.rank)
+            return
+        # stash (in-sequence or early) and let _drain deliver/recover; an
+        # early arrival with a missing predecessor is the gap _drain spots
+        self._ooo.setdefault(source, {})[env.seq] = env
+        self._drain(source)
+
+    def _drain(self, source: int) -> None:
+        """Deliver in-sequence envelopes; recover gaps and corruption.
+
+        A *gap* (the expected message absent while a successor is stashed)
+        is proof of a drop — by the store-before-enqueue invariant the
+        sender's buffer holds the missing envelope, so it is pulled
+        immediately.  A CRC mismatch likewise triggers an immediate pull.
+        """
+        meter = self._meter
+        stash = self._ooo.setdefault(source, {})
+        while True:
+            expected = self._expected.get(source, 0)
+            env = stash.pop(expected, None)
+            if env is not None:
+                if payload_checksum(env.payload) == env.crc:
+                    self._deliver(source, env)
+                    continue
+                # corruption detected: the clean copy sits in the buffer
+                meter.record_fault_detected(self.rank)
+                self._pull(source, expected, lost=False)
+                continue
+            if stash:
+                # a successor arrived but the expected message did not:
+                # evidence of a drop — pull a retransmit right away
+                meter.record_fault_detected(self.rank)
+                self._pull(source, expected, lost=True)
+                continue
+            return
+
+    def _deliver(self, source: int, env: Envelope) -> None:
+        """Hand one verified, in-sequence envelope to the inbox (and ack it)."""
+        self._expected[source] = env.seq + 1
+        ch = self._recovery_channel(source)
+        with ch.lock:
+            # piggybacked ack: the sender's retransmit buffer frees the slot
+            ch.unacked.pop(env.seq, None)
+        self._inbox.setdefault(source, deque()).append((env.tag, env.payload))
+        self._pull_backoff.pop(source, None)
+
+    def _pull(self, source: int, seq: int, lost: bool) -> None:
+        """Pull retransmits of message ``seq`` until one verifies.
+
+        Bounded by the plan's ``max_retransmits`` budget; exhausting it
+        raises the typed error (:class:`LostMessageError` for drops,
+        :class:`CorruptFrameError` for corruption) through :meth:`_fail`
+        so every rank aborts promptly.  Only ``corrupt`` rules may strike a
+        retransmit, so the loop terminates for every other fault kind.
+        """
+        meter = self._meter
+        injector = self._injector
+        ch = self._recovery_channel(source)
+        budget = injector.plan.max_retransmits
+        attempts = 0
+        while attempts < budget:
+            attempts += 1
+            with ch.lock:
+                entry = ch.unacked.get(seq)
+            if entry is None:
+                # ack raced us (a late duplicate delivered it); nothing to do
+                return
+            env, env_bytes = entry
+            meter.record_retry(self.rank)
+            # a retransmit repeats the envelope's wire cost without being
+            # origin volume — accounted like forwarded traffic
+            meter.record_retransmit(source, self.rank, env_bytes, phase=self._phase)
+            action = injector.on_retransmit(source, self.rank, self._phase)
+            if action is not None and action.kind == "corrupt":
+                # the retransmit was struck too (one more injected fault on
+                # the sender's wire); detected, try again
+                meter.record_fault_injected(source)
+                meter.record_fault_detected(self.rank)
+                continue
+            self._deliver(source, env)
+            return
+        kind = "lost" if lost else "corrupt"
+        message = (
+            f"rank {self.rank}: message seq {seq} from rank {source} still "
+            f"{kind} after {budget} retransmits (fault-plan budget exhausted)"
+        )
+        exc: FaultError = (
+            LostMessageError(message) if lost else CorruptFrameError(message)
+        )
+        self._fail(exc)
+        raise exc
+
+    def _maybe_backoff_pull(self, source: int) -> None:
+        """Drop detector of last resort: pull after an exponential backoff.
+
+        A dropped *final* message on a channel leaves no successor to prove
+        the gap, so an idle receiver arms a deadline; if the expected
+        sequence number is still sitting unacked in the sender's buffer when
+        it expires, the receiver pulls a retransmit.  Each miss doubles the
+        wait so a merely-slow sender is not flooded with pulls.
+        """
+        expected = self._expected.get(source, 0)
+        ch = self._recovery_channel(source)
+        with ch.lock:
+            pending = expected in ch.unacked
+        if not pending:
+            # nothing outstanding at this seq: sender never sent it (or the
+            # ack landed); disarm so a future gap restarts the clock
+            self._pull_backoff.pop(source, None)
+            return
+        now = time.monotonic()
+        armed = self._pull_backoff.get(source)
+        delay = self._injector.plan.retry_delay
+        if armed is None:
+            self._pull_backoff[source] = [now + delay, delay]
+            return
+        if now < armed[0]:
+            return
+        # deadline passed and the envelope is still unacked: treat as dropped
+        armed[1] *= 2.0
+        armed[0] = now + armed[1]
+        self._meter.record_fault_detected(self.rank)
+        self._pull(source, expected, lost=True)
+        self._drain(source)
+
+    # ------------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        """Synchronise all ranks (recorded as one zero-byte collective)."""
+        if self.rank == 0:
+            self._meter.record_collective("barrier", 0, self.size, self._phase)
+        self._barrier_wait()
+
+    def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        """Broadcast from ``root``; accounted as a binomial tree."""
+        snapshot = self._board_exchange(obj if self.rank == root else None)
+        value = snapshot[root]
+        if self.rank == root:
+            size = wire_size(value) if nbytes is None else nbytes
+            # account a binomial-tree broadcast: p-1 copies travel in total,
+            # staged over log p rounds; attribute the copies to tree edges,
+            # all labelled with the root's phase (reading the edge source's
+            # current phase would race with that rank's progress)
+            for src, dst in _binomial_tree_edges(root, self.size):
+                self._meter.record_send(src, dst, size, phase=self._phase)
+            self._meter.record_collective("bcast", size, self.size, self._phase)
+        return value
+
+    def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
+        """Gather at ``root`` (rank order); every other rank sends once."""
+        snapshot = self._board_exchange(obj)
+        size = wire_size(obj) if nbytes is None else nbytes
+        if self.rank != root:
+            self._meter.record_send(self.rank, root, size)
+        else:
+            sizes = [
+                wire_size(x) if nbytes is None else nbytes for x in snapshot
+            ]
+            self._meter.record_collective(
+                "gather", max(sizes, default=0), self.size, self._phase
+            )
+        return list(snapshot) if self.rank == root else None
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Deal ``root``'s per-rank objects; each rank receives its slot."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter root must supply one object per rank")
+            contribution = list(objs)
+        else:
+            contribution = None
+        snapshot = self._board_exchange(contribution)
+        parts = snapshot[root]
+        if self.rank == root:
+            sizes = [wire_size(x) for x in parts]
+            for dst in range(self.size):
+                self._meter.record_send(root, dst, sizes[dst])
+            self._meter.record_collective(
+                "scatter", max(sizes, default=0), self.size, self._phase
+            )
+        return parts[self.rank]
+
+    def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
+        """All ranks observe all contributions; ring/gossip accounting."""
+        snapshot = self._board_exchange(obj)
+        size = wire_size(obj) if nbytes is None else nbytes
+        # ring/gossip accounting: every PE forwards everything except its own
+        # contribution once, hence sends (and receives) total - own bytes
+        sizes = [wire_size(x) for x in snapshot] if nbytes is None else None
+        if sizes is not None:
+            total = sum(sizes)
+            own = sizes[self.rank]
+        else:
+            total = size * self.size
+            own = size
+        next_rank = (self.rank + 1) % self.size
+        if self.size > 1:
+            self._meter.record_send(self.rank, next_rank, total - own)
+        if self.rank == 0:
+            self._meter.record_collective(
+                "allgather", max(sizes) if sizes else size, self.size, self._phase
+            )
+        return list(snapshot)
+
+    def alltoall(
+        self,
+        objs: Sequence[Any],
+        nbytes: Optional[Sequence[int]] = None,
+        hypercube: bool = False,
+    ) -> List[Any]:
+        """Personalised all-to-all; returns received objects in source order."""
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly one object per rank "
+                f"({self.size}), got {len(objs)}"
+            )
+        sizes = [
+            wire_size(o) if nbytes is None else nbytes[d]
+            for d, o in enumerate(objs)
+        ]
+        for dst in range(self.size):
+            self._meter.record_send(self.rank, dst, sizes[dst])
+        my_total = sum(sz for d, sz in enumerate(sizes) if d != self.rank)
+
+        snapshot = self._board_exchange(list(objs))
+        received = [snapshot[src][self.rank] for src in range(self.size)]
+
+        # one rank records the collective event with the bottleneck volume
+        totals = self._board_exchange(my_total)
+        if self.rank == 0:
+            kind = "alltoall-hypercube" if hypercube else "alltoall"
+            self._meter.record_collective(
+                kind, max(totals, default=0), self.size, self._phase
+            )
+        return received
+
+    def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        """Reduce per-rank values at ``root``; ``None`` elsewhere."""
+        snapshot = self._board_exchange(value)
+        size = wire_size(value)
+        if self.rank != root:
+            # each rank contributes its *own* value's wire size (values may
+            # differ per rank — e.g. variable-length payloads)
+            self._meter.record_send(self.rank, root, size)
+        result = ReduceOp.apply(op, snapshot)
+        if self.rank == root:
+            # the collective event carries the bottleneck (largest) value,
+            # computed from the board snapshot rather than root's own value
+            event_size = max((wire_size(v) for v in snapshot), default=0)
+            self._meter.record_collective(
+                "reduce", event_size, self.size, self._phase
+            )
+            return result
+        return None
+
+    def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
+        """Reduce per-rank values; every rank receives the result."""
+        snapshot = self._board_exchange(value)
+        size = wire_size(value)
+        if self.size > 1:
+            # ring accounting: each rank ships its *own* value's wire size
+            # to its successor (per-rank sizes may differ)
+            next_rank = (self.rank + 1) % self.size
+            self._meter.record_send(self.rank, next_rank, size)
+        if self.rank == 0:
+            # collective event volume = bottleneck value across the board
+            event_size = max((wire_size(v) for v in snapshot), default=0)
+            self._meter.record_collective(
+                "allreduce", event_size, self.size, self._phase
+            )
+        return ReduceOp.apply(op, snapshot)
+
+
+class ThreadComm(MeteredComm):
+    """Communicator backed by the thread engine's shared state."""
+
+    def __init__(self, rank: int, state: _SharedState):
+        super().__init__(rank, state.num_pes, fault=state.injector is not None)
+        self._state = state
+
+    # ------------------------------------------------------------------ engine hooks
+    @property
+    def _meter(self) -> TrafficMeter:
+        """The run's shared traffic meter (lives in the shared state)."""
+        return self._state.meter
+
+    @property
+    def _injector(self) -> Optional[FaultInjector]:
+        """The engine's fault injector, or ``None`` outside fault mode."""
+        return self._state.injector
+
+    def _fail(self, exc: BaseException) -> None:
+        """Abort the run: record ``exc`` and wake every blocked rank."""
+        self._state.fail(exc)
+
+    def _recovery_channel(self, source: int) -> _FaultChannel:
+        """The shared fault-channel state of ``source -> self.rank``."""
+        return self._state.channel(source, self.rank)
 
     # ------------------------------------------------------------------ low-level sync
     def _barrier_wait(self) -> None:
@@ -493,15 +861,6 @@ class ThreadComm(Communicator):
         for env in ripe:
             q.put(env)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive: post an ``irecv`` and wait for it."""
-        return self.irecv(source, tag).wait()
-
-    def sendrecv(self, obj: Any, peer: int, tag: int = 0, nbytes: Optional[int] = None) -> Any:
-        """Symmetric exchange with ``peer`` (both sides must call this)."""
-        self.send(obj, peer, tag, nbytes)
-        return self.recv(peer, tag)
-
     # ------------------------------------------------------------------ non-blocking
     def isend(
         self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
@@ -551,283 +910,6 @@ class ThreadComm(Communicator):
             except queue.Empty:
                 return
             self._accept(source, env)
-
-    def _accept(self, source: int, env: Envelope) -> None:
-        """Sequence one arrived envelope: discard stale, stash early, drain."""
-        expected = self._expected.get(source, 0)
-        if env.seq < expected:
-            # duplicate of an already-delivered message: detected and dropped
-            self._state.meter.record_fault_detected(self.rank)
-            return
-        # stash (in-sequence or early) and let _drain deliver/recover; an
-        # early arrival with a missing predecessor is the gap _drain spots
-        self._ooo.setdefault(source, {})[env.seq] = env
-        self._drain(source)
-
-    def _drain(self, source: int) -> None:
-        """Deliver in-sequence envelopes; recover gaps and corruption.
-
-        A *gap* (the expected message absent while a successor is stashed)
-        is proof of a drop — by the store-before-enqueue invariant the
-        sender's buffer holds the missing envelope, so it is pulled
-        immediately.  A CRC mismatch likewise triggers an immediate pull.
-        """
-        meter = self._state.meter
-        stash = self._ooo.setdefault(source, {})
-        while True:
-            expected = self._expected.get(source, 0)
-            env = stash.pop(expected, None)
-            if env is not None:
-                if payload_checksum(env.payload) == env.crc:
-                    self._deliver(source, env)
-                    continue
-                # corruption detected: the clean copy sits in the buffer
-                meter.record_fault_detected(self.rank)
-                self._pull(source, expected, lost=False)
-                continue
-            if stash:
-                # a successor arrived but the expected message did not:
-                # evidence of a drop — pull a retransmit right away
-                meter.record_fault_detected(self.rank)
-                self._pull(source, expected, lost=True)
-                continue
-            return
-
-    def _deliver(self, source: int, env: Envelope) -> None:
-        """Hand one verified, in-sequence envelope to the inbox (and ack it)."""
-        self._expected[source] = env.seq + 1
-        ch = self._state.channel(source, self.rank)
-        with ch.lock:
-            # piggybacked ack: the sender's retransmit buffer frees the slot
-            ch.unacked.pop(env.seq, None)
-        self._inbox.setdefault(source, deque()).append((env.tag, env.payload))
-        self._pull_backoff.pop(source, None)
-
-    def _pull(self, source: int, seq: int, lost: bool) -> None:
-        """Pull retransmits of message ``seq`` until one verifies.
-
-        Bounded by the plan's ``max_retransmits`` budget; exhausting it
-        raises the typed error (:class:`LostMessageError` for drops,
-        :class:`CorruptFrameError` for corruption) through ``_state.fail``
-        so every rank aborts promptly.  Only ``corrupt`` rules may strike a
-        retransmit, so the loop terminates for every other fault kind.
-        """
-        state = self._state
-        meter = state.meter
-        injector = state.injector
-        ch = state.channel(source, self.rank)
-        budget = injector.plan.max_retransmits
-        attempts = 0
-        while attempts < budget:
-            attempts += 1
-            with ch.lock:
-                entry = ch.unacked.get(seq)
-            if entry is None:
-                # ack raced us (a late duplicate delivered it); nothing to do
-                return
-            env, env_bytes = entry
-            meter.record_retry(self.rank)
-            # a retransmit repeats the envelope's wire cost without being
-            # origin volume — accounted like forwarded traffic
-            meter.record_retransmit(source, self.rank, env_bytes, phase=self._phase)
-            action = injector.on_retransmit(source, self.rank, self._phase)
-            if action is not None and action.kind == "corrupt":
-                # the retransmit was struck too (one more injected fault on
-                # the sender's wire); detected, try again
-                meter.record_fault_injected(source)
-                meter.record_fault_detected(self.rank)
-                continue
-            self._deliver(source, env)
-            return
-        kind = "lost" if lost else "corrupt"
-        message = (
-            f"rank {self.rank}: message seq {seq} from rank {source} still "
-            f"{kind} after {budget} retransmits (fault-plan budget exhausted)"
-        )
-        exc: FaultError = (
-            LostMessageError(message) if lost else CorruptFrameError(message)
-        )
-        state.fail(exc)
-        raise exc
-
-    def _maybe_backoff_pull(self, source: int) -> None:
-        """Drop detector of last resort: pull after an exponential backoff.
-
-        A dropped *final* message on a channel leaves no successor to prove
-        the gap, so an idle receiver arms a deadline; if the expected
-        sequence number is still sitting unacked in the sender's buffer when
-        it expires, the receiver pulls a retransmit.  Each miss doubles the
-        wait so a merely-slow sender is not flooded with pulls.
-        """
-        expected = self._expected.get(source, 0)
-        ch = self._state.channel(source, self.rank)
-        with ch.lock:
-            pending = expected in ch.unacked
-        if not pending:
-            # nothing outstanding at this seq: sender never sent it (or the
-            # ack landed); disarm so a future gap restarts the clock
-            self._pull_backoff.pop(source, None)
-            return
-        now = time.monotonic()
-        armed = self._pull_backoff.get(source)
-        delay = self._state.injector.plan.retry_delay
-        if armed is None:
-            self._pull_backoff[source] = [now + delay, delay]
-            return
-        if now < armed[0]:
-            return
-        # deadline passed and the envelope is still unacked: treat as dropped
-        armed[1] *= 2.0
-        armed[0] = now + armed[1]
-        self._state.meter.record_fault_detected(self.rank)
-        self._pull(source, expected, lost=True)
-        self._drain(source)
-
-    # ------------------------------------------------------------------ collectives
-    def barrier(self) -> None:
-        """Synchronise all ranks (recorded as one zero-byte collective)."""
-        if self.rank == 0:
-            self._state.meter.record_collective("barrier", 0, self.size, self._phase)
-        self._barrier_wait()
-
-    def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
-        """Broadcast from ``root``; accounted as a binomial tree."""
-        snapshot = self._board_exchange(obj if self.rank == root else None)
-        value = snapshot[root]
-        if self.rank == root:
-            size = wire_size(value) if nbytes is None else nbytes
-            # account a binomial-tree broadcast: p-1 copies travel in total,
-            # staged over log p rounds; attribute the copies to tree edges,
-            # all labelled with the root's phase (reading the edge source's
-            # current phase would race with that rank's progress)
-            for src, dst in _binomial_tree_edges(root, self.size):
-                self._state.meter.record_send(src, dst, size, phase=self._phase)
-            self._state.meter.record_collective("bcast", size, self.size, self._phase)
-        return value
-
-    def gather(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Optional[List[Any]]:
-        """Gather at ``root`` (rank order); every other rank sends once."""
-        snapshot = self._board_exchange(obj)
-        size = wire_size(obj) if nbytes is None else nbytes
-        if self.rank != root:
-            self._state.meter.record_send(self.rank, root, size)
-        else:
-            sizes = [
-                wire_size(x) if nbytes is None else nbytes for x in snapshot
-            ]
-            self._state.meter.record_collective(
-                "gather", max(sizes, default=0), self.size, self._phase
-            )
-        return list(snapshot) if self.rank == root else None
-
-    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
-        """Deal ``root``'s per-rank objects; each rank receives its slot."""
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError("scatter root must supply one object per rank")
-            contribution = list(objs)
-        else:
-            contribution = None
-        snapshot = self._board_exchange(contribution)
-        parts = snapshot[root]
-        if self.rank == root:
-            sizes = [wire_size(x) for x in parts]
-            for dst in range(self.size):
-                self._state.meter.record_send(root, dst, sizes[dst])
-            self._state.meter.record_collective(
-                "scatter", max(sizes, default=0), self.size, self._phase
-            )
-        return parts[self.rank]
-
-    def allgather(self, obj: Any, nbytes: Optional[int] = None) -> List[Any]:
-        """All ranks observe all contributions; ring/gossip accounting."""
-        snapshot = self._board_exchange(obj)
-        size = wire_size(obj) if nbytes is None else nbytes
-        # ring/gossip accounting: every PE forwards everything except its own
-        # contribution once, hence sends (and receives) total - own bytes
-        sizes = [wire_size(x) for x in snapshot] if nbytes is None else None
-        if sizes is not None:
-            total = sum(sizes)
-            own = sizes[self.rank]
-        else:
-            total = size * self.size
-            own = size
-        next_rank = (self.rank + 1) % self.size
-        if self.size > 1:
-            self._state.meter.record_send(self.rank, next_rank, total - own)
-        if self.rank == 0:
-            self._state.meter.record_collective(
-                "allgather", max(sizes) if sizes else size, self.size, self._phase
-            )
-        return list(snapshot)
-
-    def alltoall(
-        self,
-        objs: Sequence[Any],
-        nbytes: Optional[Sequence[int]] = None,
-        hypercube: bool = False,
-    ) -> List[Any]:
-        """Personalised all-to-all; returns received objects in source order."""
-        if len(objs) != self.size:
-            raise ValueError(
-                f"alltoall needs exactly one object per rank "
-                f"({self.size}), got {len(objs)}"
-            )
-        sizes = [
-            wire_size(o) if nbytes is None else nbytes[d]
-            for d, o in enumerate(objs)
-        ]
-        for dst in range(self.size):
-            self._state.meter.record_send(self.rank, dst, sizes[dst])
-        my_total = sum(sz for d, sz in enumerate(sizes) if d != self.rank)
-
-        snapshot = self._board_exchange(list(objs))
-        received = [snapshot[src][self.rank] for src in range(self.size)]
-
-        # one rank records the collective event with the bottleneck volume
-        totals = self._board_exchange(my_total)
-        if self.rank == 0:
-            kind = "alltoall-hypercube" if hypercube else "alltoall"
-            self._state.meter.record_collective(
-                kind, max(totals, default=0), self.size, self._phase
-            )
-        return received
-
-    def reduce(self, value: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
-        """Reduce per-rank values at ``root``; ``None`` elsewhere."""
-        snapshot = self._board_exchange(value)
-        size = wire_size(value)
-        if self.rank != root:
-            # each rank contributes its *own* value's wire size (values may
-            # differ per rank — e.g. variable-length payloads)
-            self._state.meter.record_send(self.rank, root, size)
-        result = ReduceOp.apply(op, snapshot)
-        if self.rank == root:
-            # the collective event carries the bottleneck (largest) value,
-            # computed from the board snapshot rather than root's own value
-            event_size = max((wire_size(v) for v in snapshot), default=0)
-            self._state.meter.record_collective(
-                "reduce", event_size, self.size, self._phase
-            )
-            return result
-        return None
-
-    def allreduce(self, value: Any, op: str = ReduceOp.SUM) -> Any:
-        """Reduce per-rank values; every rank receives the result."""
-        snapshot = self._board_exchange(value)
-        size = wire_size(value)
-        if self.size > 1:
-            # ring accounting: each rank ships its *own* value's wire size
-            # to its successor (per-rank sizes may differ)
-            next_rank = (self.rank + 1) % self.size
-            self._state.meter.record_send(self.rank, next_rank, size)
-        if self.rank == 0:
-            # collective event volume = bottleneck value across the board
-            event_size = max((wire_size(v) for v in snapshot), default=0)
-            self._state.meter.record_collective(
-                "allreduce", event_size, self.size, self._phase
-            )
-        return ReduceOp.apply(op, snapshot)
 
 
 def _binomial_tree_edges(root: int, p: int) -> List[Tuple[int, int]]:
@@ -945,6 +1027,7 @@ class ThreadEngine:
             raise ValueError("args_per_rank must have one entry per rank")
 
         meter = meter if meter is not None else TrafficMeter(num_pes)
+        meter.engine = self.name
         with self._run_lock:
             return self._run_locked(
                 fn, args_per_rank, common_args, meter,
@@ -998,6 +1081,17 @@ class ThreadEngine:
             ) from primary
         return results, meter.report()
 
+    def shutdown(self) -> None:
+        """Release the machine's shared state; idempotent.
+
+        Part of the uniform engine lifecycle contract (see
+        ``docs/ENGINES.md``): the thread engine has no OS resources to
+        reclaim — rank threads are joined at the end of every :meth:`run` —
+        so this only drops the reusable shared state.  The engine remains
+        usable; the next run simply rebuilds the state.
+        """
+        self._state = None
+
 
 #: engine name -> factory (``factory(num_pes, timeout=...)``)
 ENGINES: Dict[str, Callable[..., ThreadEngine]] = {"threads": ThreadEngine}
@@ -1031,6 +1125,22 @@ def get_engine(name: str) -> Callable[..., Any]:
         ) from None
 
 
+def resolve_engine_name(name: Optional[str] = None) -> str:
+    """Resolve an engine name: explicit > ``REPRO_ENGINE`` env > ``"threads"``.
+
+    The single resolution rule every entry point shares —
+    :class:`repro.session.Cluster`, :func:`run_spmd`,
+    :func:`repro.dist.api.dsort` and the CLI's ``--engine`` flag all pass
+    their (possibly ``None``) engine argument through here, so exporting
+    ``REPRO_ENGINE=processes`` switches a whole test run onto the
+    multiprocessing backend without touching code.
+    """
+    if name:
+        return name
+    env = os.environ.get("REPRO_ENGINE", "").strip()
+    return env or "threads"
+
+
 def run_spmd(
     num_pes: int,
     fn: Callable[..., Any],
@@ -1039,16 +1149,29 @@ def run_spmd(
     meter: Optional[TrafficMeter] = None,
     timeout: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[List[Any], TrafficReport]:
     """Run one SPMD program on a throwaway simulated machine.
 
-    The one-shot convenience wrapper around :class:`ThreadEngine` (which
+    The one-shot convenience wrapper around an execution engine (which
     long-lived callers — e.g. :class:`repro.session.Cluster` — hold on to
     for machine reuse); see :meth:`ThreadEngine.run` for the parameters.
     ``timeout=None`` resolves via :func:`default_timeout` (the
     ``REPRO_SPMD_TIMEOUT`` environment variable, or 600 s); ``fault_plan``
-    installs a :class:`repro.faults.FaultPlan` chaos schedule.
+    installs a :class:`repro.faults.FaultPlan` chaos schedule; ``engine``
+    picks the backend by registry name via :func:`resolve_engine_name`
+    (``None`` honours ``REPRO_ENGINE``, default ``"threads"``).
     """
-    return ThreadEngine(num_pes, timeout=timeout, fault_plan=fault_plan).run(
-        fn, args_per_rank=args_per_rank, common_args=common_args, meter=meter
-    )
+    factory = get_engine(resolve_engine_name(engine))
+    kwargs: Dict[str, Any] = {"timeout": timeout}
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    backend = factory(num_pes, **kwargs)
+    try:
+        return backend.run(
+            fn, args_per_rank=args_per_rank, common_args=common_args, meter=meter
+        )
+    finally:
+        shutdown = getattr(backend, "shutdown", None)
+        if callable(shutdown):
+            shutdown()

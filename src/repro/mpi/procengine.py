@@ -1,0 +1,829 @@
+"""Real-parallel SPMD execution: one OS process per rank.
+
+This is the first engine that escapes the GIL: the same rank programs the
+thread engine runs are forked into real processes, so local sorting and
+merging genuinely run in parallel.  It registers under the name
+``"processes"`` (``Cluster(engine="processes")``, ``REPRO_ENGINE=processes``
+or the CLI's ``--engine processes``) and implements the full
+:class:`~repro.mpi.comm.Communicator` protocol:
+
+* **data plane** — a full mesh of duplex pipes carries small control
+  frames; bulk payloads (packed buckets, LCP arrays) ship as zero-copy
+  :mod:`multiprocessing.shared_memory` views via :mod:`repro.mpi.shm`;
+* **collectives** — built on a gather-to-rank-0 board exchange with
+  explicit collective sequence numbers, reproducing the thread engine's
+  write/barrier/read semantics (and, because all accounting lives in the
+  shared :class:`~repro.mpi.engine.MeteredComm` base, recording *exactly*
+  the same meter events);
+* **fault plans** — the PR 7 envelope/retransmit framing injects
+  identically on both backends.  The sender always ships clean sequenced
+  envelopes; the *receiver* (which forked its own copy of the engine's
+  deterministic :class:`~repro.faults.inject.FaultInjector`) simulates the
+  sender-side injection decision on arrival, so every injector channel is
+  advanced by exactly one process and the parent can merge the forked
+  schedule states back losslessly after the run.
+
+Workers are forked per run: rank programs, closures and the session's
+process-global toggles (``REPRO_PACKED`` etc.) are inherited, never
+pickled.  The parent absorbs each worker's full-size traffic meter into the
+caller's meter, merges injector state, joins the children and sweeps any
+shared-memory debris — :meth:`ProcessEngine.shutdown` is idempotent and the
+leak-check fixture in ``tests/conftest.py`` holds the engine to that
+contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.errors import LostMessageError
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.wire import Envelope, envelope_overhead
+from ..net.metrics import TrafficMeter, TrafficReport
+from . import shm
+from .comm import Request
+from .engine import (
+    MeteredComm,
+    SpmdError,
+    _FaultChannel,
+    _SendRequest,
+    default_timeout,
+)
+from .serialization import payload_checksum, wire_size
+
+__all__ = ["ProcComm", "ProcessEngine", "process_engine_available"]
+
+_PROBE: Optional[Tuple[bool, str]] = None
+
+
+def process_engine_available() -> Tuple[bool, str]:
+    """Whether this platform can run the processes engine: ``(ok, reason)``.
+
+    Requires the ``fork`` start method (rank programs are closures and the
+    injector must be inherited, not pickled) and working POSIX shared
+    memory.  The conformance fixtures consult this to skip ``processes``
+    test cells gracefully on platforms that lack either.
+    """
+    global _PROBE
+    if _PROBE is None:
+        if "fork" not in mp.get_all_start_methods():
+            _PROBE = (False, "platform lacks the fork start method")
+        else:
+            _PROBE = shm.shared_memory_available()
+    return _PROBE
+
+
+class _ProcRecvRequest(Request):
+    """Request handle of a :meth:`ProcComm.irecv`.
+
+    The pipe twin of the thread engine's ``_RecvRequest``: outstanding
+    receives from one source match incoming frames in *posting* order (the
+    MPI non-overtaking rule), the deadlock clock starts at post time, and
+    in fault mode every poll runs the backoff drop detector.
+    """
+
+    __slots__ = ("_comm", "source", "tag", "_done", "_value", "_posted")
+
+    def __init__(self, comm: "ProcComm", source: int, tag: int):
+        self._comm = comm
+        self.source = source
+        self.tag = tag
+        self._done = False
+        self._value: Any = None
+        self._posted = time.monotonic()
+
+    def _complete(self, got_tag: int, obj: Any) -> None:
+        if got_tag != self.tag:
+            raise SpmdError(
+                f"rank {self._comm.rank}: tag mismatch receiving from "
+                f"{self.source}: expected {self.tag}, got {got_tag} "
+                "(SPMD ordering violated)"
+            )
+        self._value = obj
+        self._done = True
+
+    def test(self) -> bool:
+        """Poll: drain the source pipe, then report completion or timeout."""
+        if self._done:
+            return True
+        comm = self._comm
+        comm._check_abort(f"a message from rank {self.source}")
+        comm._match_pending_recvs(self.source)
+        if self._done:
+            return True
+        if comm._fault:
+            comm._maybe_backoff_pull(self.source)
+            comm._match_pending_recvs(self.source)
+            if self._done:
+                return True
+        if not comm._fault and self.source in comm._dead:
+            # the peer exited and every frame it ever sent was consumed:
+            # this message can no longer arrive (in fault mode recovery may
+            # still deliver from the local buffer, so the timeout decides)
+            exc = SpmdError(
+                f"rank {comm.rank}: lost the connection to rank "
+                f"{self.source} while a receive was pending"
+            )
+            comm._fail(exc)
+            raise exc
+        if time.monotonic() - self._posted > comm._timeout:
+            message = (
+                f"rank {comm.rank}: timed out waiting for a message "
+                f"from rank {self.source} (tag {self.tag})"
+            )
+            exc: BaseException = (
+                LostMessageError(message) if comm._fault else SpmdError(message)
+            )
+            comm._fail(exc)
+            raise SpmdError(
+                f"rank {comm.rank}: recv timeout from rank {self.source}"
+            )
+        return False
+
+    def wait(self) -> Any:
+        """Block until the message arrives; returns the payload.
+
+        Sleeps in ``Connection.poll`` on the source's pipe (idle workers
+        sleep in the OS instead of spinning); ``test()`` still runs every
+        slice for abort/deadlock detection and fault recovery.
+        """
+        comm = self._comm
+        while not self.test():
+            if self.source != comm.rank and self.source not in comm._dead:
+                comm._service(self.source, 0.02)
+            else:  # self-receives and dead peers have nothing to poll
+                time.sleep(0.0005)
+        return self._value
+
+
+class ProcComm(MeteredComm):
+    """Communicator of one rank process (pipes + shared-memory payloads)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        peer_conns: Dict[int, Any],
+        error_event: Any,
+        meter: TrafficMeter,
+        injector: Optional[FaultInjector],
+        timeout: float,
+        shm_prefix: str,
+        shm_threshold: int,
+    ):
+        super().__init__(rank, size, fault=injector is not None)
+        self._peer_conns = peer_conns
+        self._error_event = error_event
+        self._meter_obj = meter
+        self._injector_obj = injector
+        self._timeout = timeout
+        self._shm_prefix = shm_prefix
+        self._shm_threshold = shm_threshold
+        self._shm_counter = 0
+        # zero-copy segments opened on receive; closed at teardown
+        self._segments: List[Any] = []
+        # control plane: per-source stash of collective steps, by sequence
+        self._coll_seq = 0
+        self._coll_stash: Dict[int, Dict[int, Any]] = {}
+        # fault-free p2p inbox (fault mode uses MeteredComm's verified inbox)
+        self._raw_inbox: Dict[int, Deque[Tuple[int, Any]]] = {}
+        # peers whose pipe reached EOF (they exited; all frames consumed)
+        self._dead: set = set()
+        # fault mode: sender-side sequence numbers and receiver-side
+        # recovery buffers / delay pens (the receiver simulates injection)
+        self._send_seq: Dict[int, int] = {}
+        self._channels: Dict[int, _FaultChannel] = {}
+        self._delay_pens: Dict[int, List[List[Any]]] = {}
+
+    # ------------------------------------------------------------------ engine hooks
+    @property
+    def _meter(self) -> TrafficMeter:
+        """This worker's full-size meter (absorbed by the parent afterwards)."""
+        return self._meter_obj
+
+    @property
+    def _injector(self) -> Optional[FaultInjector]:
+        """The fork-inherited copy of the engine's fault injector."""
+        return self._injector_obj
+
+    def _fail(self, exc: BaseException) -> None:
+        """Abort the whole run: flag the shared error event and let the
+        exception propagate out of this worker."""
+        self._error_event.set()
+
+    def _recovery_channel(self, source: int) -> _FaultChannel:
+        """Receiver-local retransmit buffer of the ``source -> me`` channel.
+
+        Plays the role of the thread engine's shared sender-side buffer:
+        every arriving envelope is stored *before* the injection verdict is
+        simulated, so recovery pulls always find the clean copy locally.
+        """
+        ch = self._channels.get(source)
+        if ch is None:
+            ch = self._channels[source] = _FaultChannel()
+        return ch
+
+    def _check_abort(self, what: str) -> None:
+        """Raise :class:`SpmdError` if another rank aborted the run."""
+        if self._error_event.is_set():
+            raise SpmdError(
+                f"rank {self.rank}: SPMD run aborted while waiting for {what}"
+            )
+
+    # ------------------------------------------------------------------ low-level sync
+    def _barrier_wait(self) -> None:
+        """Synchronise all ranks via a zero-payload board exchange."""
+        self._board_exchange(None)
+
+    def _board_exchange(self, contribution: Any) -> List[Any]:
+        """All ranks contribute one object and observe everyone's contribution.
+
+        Gather-to-rank-0 then redistribute, with an explicit collective
+        sequence number per step: SPMD programs issue collectives in the
+        same order on every rank, so a mismatched sequence number is
+        detected as a violation instead of silently crossing wires.  Each
+        rank's own slot travels as ``None`` and is spliced back locally
+        (its own contribution never needs to round-trip).
+        """
+        seq = self._coll_seq
+        self._coll_seq += 1
+        if self.size == 1:
+            return [contribution]
+        if self.rank == 0:
+            board: List[Any] = [None] * self.size
+            board[0] = contribution
+            for src in range(1, self.size):
+                board[src] = self._await_coll(src, seq)
+            for dst in range(1, self.size):
+                out = list(board)
+                out[dst] = None
+                self._send_frame(dst, ("coll", seq, out))
+            return board
+        self._send_frame(0, ("coll", seq, contribution))
+        board = list(self._await_coll(0, seq))
+        board[self.rank] = contribution
+        return board
+
+    def _await_coll(self, src: int, seq: int) -> Any:
+        """Wait for collective step ``seq`` from ``src`` (deadlock-clocked)."""
+        stash = self._coll_stash.setdefault(src, {})
+        deadline = time.monotonic() + self._timeout
+        while seq not in stash:
+            self._check_abort(f"collective step {seq} from rank {src}")
+            if not self._service(src, 0.05):
+                if src in self._dead:
+                    # the peer exited without contributing this step: a
+                    # collective it should have joined can never complete
+                    exc = SpmdError(
+                        f"rank {self.rank}: lost rank {src} before "
+                        f"collective step {seq}"
+                    )
+                    self._fail(exc)
+                    raise exc
+                if time.monotonic() > deadline:
+                    exc = SpmdError(
+                        f"rank {self.rank}: timed out in a collective "
+                        f"waiting for rank {src} (step {seq})"
+                    )
+                    self._fail(exc)
+                    raise exc
+        return stash.pop(seq)
+
+    # ------------------------------------------------------------------ frame transport
+    def _send_frame(self, dest: int, frame: Tuple[Any, ...]) -> None:
+        """Ship one frame to ``dest`` and count the real transported bytes."""
+        self._shm_counter += 1
+        name = f"{self._shm_prefix}-{self.rank}-{self._shm_counter}"
+        blob, shm_bytes = shm.dumps(
+            frame, segment_name=name, threshold=self._shm_threshold
+        )
+        try:
+            self._peer_conns[dest].send_bytes(blob)
+        except (BrokenPipeError, OSError):
+            # the receiver is gone; if a segment was created for this frame
+            # nobody will ever unlink it, so reclaim it here
+            if shm_bytes:
+                shm.sweep_segments(name)
+            self._check_abort(f"rank {dest} (its pipe closed)")
+            # no abort flagged: the peer finished its program and closed
+            # its end.  A frame it never posted a matching receive for is
+            # dropped silently — the thread engine leaves such messages in
+            # a queue nobody reads, and any genuinely missing data still
+            # fails on the *receiving* side of some later operation
+            self._dead.add(dest)
+            return
+        self._meter_obj.record_transport(self.rank, len(blob) + shm_bytes)
+
+    def _service(self, src: int, timeout: float) -> bool:
+        """Receive whatever ``src``'s pipe holds (waiting up to ``timeout``).
+
+        Returns whether at least one frame was processed.  Frames are
+        dispatched by kind: collective steps to the sequence stash,
+        point-to-point payloads to the (verified, in fault mode) inbox.
+        """
+        if src in self._dead:
+            return False
+        conn = self._peer_conns[src]
+        got = False
+        try:
+            if not conn.poll(timeout):
+                return False
+            self._dispatch(src, conn.recv_bytes())
+            got = True
+            while conn.poll(0):
+                self._dispatch(src, conn.recv_bytes())
+        except (EOFError, OSError):
+            # EOF is not an error *here*: a finished peer closes its end the
+            # moment its last frame is buffered (and EOF makes poll() report
+            # readable), so every buffered frame has been consumed by now.
+            # The channel is marked dead; whoever still NEEDS a frame from
+            # this peer decides that it is a failure (_await_coll, the
+            # pending-receive poll) — whoever already has its data carries on.
+            self._dead.add(src)
+        return got
+
+    def _dispatch(self, src: int, blob: bytes) -> None:
+        """Decode one frame from ``src`` and route it to the right inbox."""
+        obj, segment = shm.loads(blob)
+        if segment is not None:
+            self._segments.append(segment)
+        kind = obj[0]
+        if kind == "coll":
+            _, seq, payload = obj
+            self._coll_stash.setdefault(src, {})[seq] = payload
+        elif kind == "msg":
+            _, tag, payload = obj
+            self._raw_inbox.setdefault(src, deque()).append((tag, payload))
+        elif kind == "fmsg":
+            _, seq, tag, crc, env_bytes, sender_phase, payload = obj
+            self._arrive(src, seq, tag, crc, env_bytes, sender_phase, payload)
+        else:  # pragma: no cover - wire corruption would be a repo bug
+            raise SpmdError(
+                f"rank {self.rank}: unknown frame kind {kind!r} from rank {src}"
+            )
+
+    # ------------------------------------------------------------------ point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> None:
+        """Ship ``obj`` to ``dest`` and account its simulated wire size.
+
+        With a fault plan installed the payload is framed in a sequenced,
+        CRC-sealed envelope exactly like the thread engine; self-sends
+        deliver locally without touching a pipe.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        size = wire_size(obj) if nbytes is None else nbytes
+        if self._fault:
+            self._fault_send(obj, dest, tag, size)
+            return
+        self._meter_obj.record_send(self.rank, dest, size)
+        if dest == self.rank:
+            self._raw_inbox.setdefault(dest, deque()).append((tag, obj))
+            return
+        self._send_frame(dest, ("msg", tag, obj))
+
+    def _fault_send(self, obj: Any, dest: int, tag: int, size: int) -> None:
+        """Fault-mode send: frame a clean sequenced envelope and ship it.
+
+        Unlike the thread engine the sender never consults the injector —
+        the wire really has to carry the message, so the *receiver*
+        simulates the injection decision on arrival (:meth:`_arrive`) using
+        its own forked copy of the deterministic injector.  The decision
+        stream is identical because each injector channel is only ever
+        advanced at the receiving rank.
+        """
+        seq = self._send_seq.get(dest, 0)
+        self._send_seq[dest] = seq + 1
+        crc = payload_checksum(obj)
+        env_bytes = size + envelope_overhead(seq)
+        self._meter_obj.record_send(self.rank, dest, env_bytes)
+        if dest == self.rank:
+            self._arrive(self.rank, seq, tag, crc, env_bytes, self._phase, obj)
+            return
+        self._send_frame(dest, ("fmsg", seq, tag, crc, env_bytes, self._phase, obj))
+
+    def _arrive(
+        self,
+        source: int,
+        seq: int,
+        tag: int,
+        crc: int,
+        env_bytes: int,
+        sender_phase: str,
+        payload: Any,
+    ) -> None:
+        """Process one arrived envelope, simulating sender-side injection.
+
+        Mirrors ``ThreadComm._fault_send``'s order of operations exactly —
+        store the clean envelope in the recovery buffer first, apply the
+        injection verdict, tick the delay pen once per arrival, then pen a
+        newly delayed envelope — so the fault counters and the recovery
+        schedule replay bit-identically against the thread engine.
+        """
+        ch = self._recovery_channel(source)
+        env = Envelope(seq, tag, crc, payload)
+        with ch.lock:
+            ch.unacked[seq] = (env, env_bytes)
+        meter = self._meter_obj
+        action = None
+        if source != self.rank and self._injector_obj is not None:
+            action = self._injector_obj.on_send(source, self.rank, sender_phase)
+        if action is None:
+            self._accept(source, env)
+        elif action.kind == "drop":
+            # withheld; recovery pulls it from the local buffer
+            meter.record_fault_injected(source)
+        elif action.kind == "duplicate":
+            meter.record_fault_injected(source)
+            self._accept(source, env)
+            # the duplicate costs wire bytes but is not origin volume
+            meter.record_retransmit(source, self.rank, env_bytes)
+            self._accept(source, Envelope(seq, tag, crc, payload))
+        elif action.kind == "corrupt":
+            meter.record_fault_injected(source)
+            # tamper the envelope's seal; the clean copy stays buffered
+            self._accept(source, Envelope(seq, tag, crc ^ action.mask, payload))
+        elif action.kind == "delay":
+            meter.record_fault_injected(source)
+        else:  # pragma: no cover - injector only emits message kinds here
+            self._accept(source, env)
+        # this arrival is one overtaking event: held envelopes tick AFTER
+        # the current one was handled and BEFORE the current one may be
+        # penned (a held message must not tick at its own arrival)
+        self._tick_delay(source)
+        if action is not None and action.kind == "delay":
+            self._delay_pens.setdefault(source, []).append(
+                [action.delay_messages, env]
+            )
+
+    def _tick_delay(self, source: int) -> None:
+        """Tick ``source``'s delay pen; accept envelopes fully overtaken."""
+        pens = self._delay_pens.get(source)
+        if not pens:
+            return
+        ripe: List[Envelope] = []
+        remaining: List[List[Any]] = []
+        for entry in pens:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                ripe.append(entry[1])
+            else:
+                remaining.append(entry)
+        self._delay_pens[source] = remaining
+        for env in ripe:
+            self._accept(source, env)
+
+    # ------------------------------------------------------------------ non-blocking
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Request:
+        """Non-blocking send; completes eagerly (pipes buffer the frame)."""
+        self.send(obj, dest, tag, nbytes)
+        return _SendRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Post a non-blocking receive; requests match frames in posting order."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        request = _ProcRecvRequest(self, source, tag)
+        self._pending_recvs.setdefault(source, deque()).append(request)
+        return request
+
+    def _match_pending_recvs(self, source: int) -> None:
+        """Assign arrived frames from ``source`` to requests in posting order."""
+        pending = self._pending_recvs.get(source)
+        if not pending:
+            return
+        if source != self.rank:
+            self._service(source, 0)
+        inbox = (
+            self._inbox.get(source) if self._fault else self._raw_inbox.get(source)
+        )
+        while pending and inbox:
+            got_tag, obj = inbox.popleft()
+            pending.popleft()._complete(got_tag, obj)
+
+    # ------------------------------------------------------------------ lifecycle
+    def _teardown(self) -> None:
+        """Close zero-copy segments and pipes (end of the worker's life).
+
+        Segments still referenced by live payload views refuse to close
+        (``BufferError``); that is fine — the mapping dies with the process,
+        and the names were already unlinked at receive time.
+        """
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+        self._segments = []
+        for conn in self._peer_conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    pair_conns: Dict[Tuple[int, int], Tuple[Any, Any]],
+    child_ends: List[Any],
+    error_event: Any,
+    fn: Callable[..., Any],
+    args_per_rank: Optional[Sequence[Tuple]],
+    common_args: Tuple,
+    injector: Optional[FaultInjector],
+    timeout: float,
+    shm_prefix: str,
+    shm_threshold: int,
+) -> None:
+    """Entry point of one forked rank worker.
+
+    Runs ``fn(comm, *rank_args, *common_args)`` against a fresh
+    :class:`ProcComm`, then reports ``(status, result_or_exc, report,
+    injector_state)`` to the parent over its private pipe.  The worker's
+    meter is full-size (it records explicit rank slots exactly like the
+    thread engine's shared meter), so the parent's merge is exact.
+    """
+    peers: Dict[int, Any] = {}
+    for (i, j), (ci, cj) in pair_conns.items():
+        if rank == i:
+            peers[j] = ci
+            cj.close()
+        elif rank == j:
+            peers[i] = cj
+            ci.close()
+        else:
+            ci.close()
+            cj.close()
+    for r, conn in enumerate(child_ends):
+        if r != rank:
+            conn.close()
+    meter = TrafficMeter(size)
+    comm = ProcComm(
+        rank,
+        size,
+        peers,
+        error_event,
+        meter,
+        injector,
+        timeout,
+        shm_prefix,
+        shm_threshold,
+    )
+    status = "done"
+    payload: Any = None
+    try:
+        rank_args = tuple(args_per_rank[rank]) if args_per_rank is not None else ()
+        payload = fn(comm, *rank_args, *common_args)
+    except SpmdError as exc:
+        # secondary failure (another rank aborted first, or a local timeout
+        # already recorded through _fail); still reported, parent picks the
+        # primary cause
+        status = "aborted"
+        payload = exc
+        error_event.set()
+    except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
+        status = "failed"
+        payload = exc
+        error_event.set()
+    report = meter.report()
+    state = injector.export_state() if injector is not None else None
+    out = child_ends[rank]
+    try:
+        out.send((status, payload, report, state))
+    except Exception:
+        try:
+            fallback = SpmdError(
+                f"rank {rank}: result of type "
+                f"{type(payload).__name__} could not be pickled"
+            )
+            out.send(("failed", fallback, report, state))
+        except Exception:  # pragma: no cover - parent sees EOF instead
+            pass
+    comm._teardown()
+    out.close()
+
+
+_ENGINE_IDS = itertools.count()
+
+
+class ProcessEngine:
+    """A real-parallel machine: one forked OS process per simulated PE.
+
+    The multiprocessing counterpart of :class:`~repro.mpi.engine.ThreadEngine`
+    with the same engine surface (``run``, ``shutdown``, ``_injector``,
+    ``runs_completed``) registered as ``"processes"``.  Workers are forked
+    per run — fork (required; see :func:`process_engine_available`) lets
+    rank programs be arbitrary closures and carries the session's
+    process-global toggles and the engine's fault injector into the workers
+    without pickling.  Conformance with the thread engine — bit-identical
+    outputs, LCPs, origin wire bytes and config hashes — is pinned by
+    ``tests/test_engine_conformance.py``.
+    """
+
+    #: registry name of this backend
+    name = "processes"
+
+    def __init__(
+        self,
+        num_pes: int,
+        timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        shm_threshold: Optional[int] = None,
+    ):
+        ok, reason = process_engine_available()
+        if not ok:
+            raise RuntimeError(f"the processes engine cannot run here: {reason}")
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self.timeout = default_timeout() if timeout is None else timeout
+        #: the installed chaos schedule, or None for the zero-overhead path
+        self.fault_plan = fault_plan
+        # like the thread engine, the injector outlives individual runs so
+        # single-shot rules stay consumed across a session-level retry; the
+        # workers fork copies and the parent merges their state back
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._ctx = mp.get_context("fork")
+        self._shm_threshold = (
+            shm.SHM_THRESHOLD if shm_threshold is None else shm_threshold
+        )
+        self._shm_prefix = f"reproshm-{os.getpid()}-{next(_ENGINE_IDS)}"
+        self._run_seq = 0
+        self._procs: List[Any] = []
+        # one machine runs one SPMD program at a time (mirrors ThreadEngine)
+        self._run_lock = threading.Lock()
+        #: completed :meth:`run` calls (successful or not)
+        self.runs_completed = 0
+        #: runs that reused the engine's persistent state (the injector and
+        #: the shared-memory namespace survive across runs; workers do not)
+        self.state_reuses = 0
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[Tuple]] = None,
+        common_args: Tuple = (),
+        meter: Optional[TrafficMeter] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[Any], TrafficReport]:
+        """Run ``fn(comm, *rank_args, *common_args)`` on every PE process.
+
+        Same contract as :meth:`ThreadEngine.run`: returns ``(results,
+        report)`` with ``results[r]`` the return value of rank ``r``, or
+        raises :class:`SpmdError` chaining the primary failure.  The
+        caller's ``meter`` additionally receives the per-worker counters
+        (exact element-wise merge) even when the run fails, so session-level
+        retry accounting sees fault counters of failed attempts.
+        """
+        num_pes = self.num_pes
+        if args_per_rank is not None and len(args_per_rank) != num_pes:
+            raise ValueError("args_per_rank must have one entry per rank")
+        meter = meter if meter is not None else TrafficMeter(num_pes)
+        meter.engine = self.name
+        with self._run_lock:
+            return self._run_locked(
+                fn, args_per_rank, common_args, meter,
+                self.timeout if timeout is None else timeout,
+            )
+
+    def _run_locked(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[Tuple]],
+        common_args: Tuple,
+        meter: TrafficMeter,
+        timeout: float,
+    ) -> Tuple[List[Any], TrafficReport]:
+        num_pes = self.num_pes
+        self._run_seq += 1
+        prefix = f"{self._shm_prefix}-r{self._run_seq}"
+        # start the resource tracker pre-fork so all workers share one
+        # ledger (create/attach/unlink of a segment then balance out)
+        shm.ensure_tracker()
+        pair_conns = {
+            (i, j): self._ctx.Pipe(duplex=True)
+            for i in range(num_pes)
+            for j in range(i + 1, num_pes)
+        }
+        parent_ends: List[Any] = []
+        child_ends: List[Any] = []
+        for _ in range(num_pes):
+            recv_end, send_end = self._ctx.Pipe(duplex=False)
+            parent_ends.append(recv_end)
+            child_ends.append(send_end)
+        error_event = self._ctx.Event()
+        procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank, num_pes, pair_conns, child_ends, error_event,
+                    fn, args_per_rank, common_args, self._injector,
+                    timeout, prefix, self._shm_threshold,
+                ),
+                name=f"repro-pe-{rank}",
+                daemon=True,
+            )
+            for rank in range(num_pes)
+        ]
+        self._procs = procs
+        for proc in procs:
+            proc.start()
+        # the parent is not a rank: close its copies of the data plane
+        for ci, cj in pair_conns.values():
+            ci.close()
+            cj.close()
+        for conn in child_ends:
+            conn.close()
+
+        results: List[Any] = [None] * num_pes
+        failures: List[Tuple[int, BaseException]] = []
+        pending: Dict[Any, int] = {conn: r for r, conn in enumerate(parent_ends)}
+        deadline = time.monotonic() + timeout + 30.0
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            ready = mp_connection.wait(list(pending), timeout=min(remaining, 1.0))
+            for conn in ready:
+                rank = pending.pop(conn)
+                try:
+                    status, payload, report, state = conn.recv()
+                except (EOFError, OSError):
+                    error_event.set()
+                    failures.append(
+                        (rank, SpmdError(
+                            f"rank {rank} worker died without reporting "
+                            "(killed or crashed hard)"
+                        ))
+                    )
+                    continue
+                if report is not None:
+                    meter.absorb(report)
+                if state is not None and self._injector is not None:
+                    self._injector.merge_state(state)
+                if status == "done":
+                    results[rank] = payload
+                else:
+                    failures.append((rank, payload))
+        if pending:
+            error_event.set()
+            for conn, rank in pending.items():
+                failures.append(
+                    (rank, SpmdError(
+                        f"rank {rank} did not report within the deadlock "
+                        f"deadline ({timeout:.0f}s + grace)"
+                    ))
+                )
+        for proc in procs:
+            proc.join(timeout=10.0)
+        stragglers = [p for p in procs if p.is_alive()]
+        for proc in stragglers:
+            proc.terminate()
+        for proc in stragglers:
+            proc.join(timeout=5.0)
+        for conn in parent_ends:
+            conn.close()
+        shm.sweep_segments(prefix)
+        self._procs = []
+        self.runs_completed += 1
+        if self.runs_completed > 1:
+            self.state_reuses += 1
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            primary = next(
+                (exc for _, exc in failures if not isinstance(exc, SpmdError)),
+                failures[0][1],
+            )
+            raise SpmdError(
+                f"SPMD run on {num_pes} PEs failed: {primary!r}"
+            ) from primary
+        return results, meter.report()
+
+    def shutdown(self) -> None:
+        """Terminate stray workers and sweep shared-memory debris; idempotent.
+
+        Normal runs leave nothing behind — workers are joined and segments
+        unlinked inside :meth:`run` — so this is a safety net for callers
+        that abandon an engine mid-failure.  The engine remains usable
+        afterwards.
+        """
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        self._procs = []
+        shm.sweep_segments(self._shm_prefix)

@@ -90,9 +90,20 @@ class TrafficReport:
     faults_detected_per_pe: List[int] = field(default_factory=list)
     retries_per_pe: List[int] = field(default_factory=list)
     retransmitted_bytes_per_pe: List[int] = field(default_factory=list)
+    # bytes the execution engine's data plane *actually moved* on behalf of
+    # each PE's sends (pipe frames plus shared-memory payload bytes).  Zero
+    # under the thread engine, which moves object references; the processes
+    # engine fills it in, and the conformance suite reconciles it against
+    # the simulated wire accounting (real transport >= 0 whenever the
+    # simulated counters are non-zero)
+    transported_bytes_per_pe: List[int] = field(default_factory=list)
     #: whole-job re-runs a session performed after failed attempts
     #: (``Cluster.sort(..., max_retries=N)``); folds additively
     job_retries: int = 0
+    #: name of the execution engine that produced this report ("" when the
+    #: meter was driven outside an engine; "mixed" after folding reports
+    #: from different engines)
+    engine: str = ""
 
     # -- aggregate helpers ---------------------------------------------------------
     @property
@@ -150,6 +161,16 @@ class TrafficReport:
         origin exactly once.
         """
         return sum(self.retransmitted_bytes_per_pe)
+
+    @property
+    def transported_bytes(self) -> int:
+        """Bytes the engine's data plane really moved, summed over all PEs.
+
+        The physical counterpart of the simulated :attr:`total_bytes_sent`:
+        pipe frames plus shared-memory payloads for the processes engine,
+        0 for the thread engine (references move for free).
+        """
+        return sum(self.transported_bytes_per_pe)
 
     @property
     def max_bytes_sent(self) -> int:
@@ -249,6 +270,7 @@ _PER_PE_FIELDS = (
     "faults_detected_per_pe",
     "retries_per_pe",
     "retransmitted_bytes_per_pe",
+    "transported_bytes_per_pe",
 )
 
 _PHASE_DICT_FIELDS = (
@@ -274,6 +296,7 @@ def zero_traffic_report(num_pes: int) -> "TrafficReport":
         faults_detected_per_pe=[0] * num_pes,
         retries_per_pe=[0] * num_pes,
         retransmitted_bytes_per_pe=[0] * num_pes,
+        transported_bytes_per_pe=[0] * num_pes,
     )
 
 
@@ -344,6 +367,13 @@ def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> Non
             target.overlap_weight.setdefault(phase, 0.0)
     target.collectives.extend(report.collectives)
     target.job_retries += report.job_retries
+    # engine provenance: first tagged report wins; folding reports produced
+    # by different engines yields the explicit marker "mixed"
+    if report.engine:
+        if not target.engine:
+            target.engine = report.engine
+        elif target.engine != report.engine:
+            target.engine = "mixed"
 
 
 def merge_traffic_reports(reports: List["TrafficReport"]) -> "TrafficReport":
@@ -365,6 +395,9 @@ class TrafficMeter:
 
     def __init__(self, num_pes: int):
         self.num_pes = num_pes
+        #: engine provenance stamped onto :meth:`report` snapshots; the
+        #: execution engine sets this at the start of a run
+        self.engine = ""
         self._lock = threading.Lock()
         self._sent = [0] * num_pes
         self._received = [0] * num_pes
@@ -382,6 +415,7 @@ class TrafficMeter:
         self._faults_detected = [0] * num_pes
         self._retries = [0] * num_pes
         self._retransmitted = [0] * num_pes
+        self._transported = [0] * num_pes
 
     # ------------------------------------------------------------------ phases
     def set_phase(self, rank: int, phase: str) -> None:
@@ -486,6 +520,59 @@ class TrafficMeter:
                 phase = self._phases.get(src, "unlabelled")
             self._phase_bytes[phase] += nbytes
 
+    def record_transport(self, rank: int, nbytes: int) -> None:
+        """Count ``nbytes`` the engine's data plane physically moved for ``rank``.
+
+        Orthogonal to the simulated wire accounting: :meth:`record_send`
+        charges what a real MPI implementation *would* serialise, this
+        counts what the engine's transport (pipes + shared memory) really
+        shipped.  The thread engine never calls it.
+        """
+        with self._lock:
+            self._transported[rank] += nbytes
+
+    def absorb(self, report: TrafficReport) -> None:
+        """Fold a finished per-worker ``report`` into this live meter.
+
+        The processes engine gives every rank worker its own full-size
+        meter (each records into explicit rank slots, exactly like the
+        thread engine's shared meter) and merges the per-worker snapshots
+        into the caller's meter here.  Addition is element-wise and exact,
+        so the merged report is bit-identical to what one shared meter
+        would have collected.
+        """
+        if report.num_pes != self.num_pes:
+            raise ValueError(
+                "cannot absorb a report from a different machine size: "
+                f"meter has {self.num_pes} PEs, report {report.num_pes}"
+            )
+        pairs = (
+            (self._sent, report.bytes_sent_per_pe),
+            (self._received, report.bytes_received_per_pe),
+            (self._messages, report.messages_per_pe),
+            (self._chars, report.chars_inspected_per_pe),
+            (self._items, report.items_processed_per_pe),
+            (self._forwarded, report.forwarded_bytes_per_pe),
+            (self._faults_injected, report.faults_injected_per_pe),
+            (self._faults_detected, report.faults_detected_per_pe),
+            (self._retries, report.retries_per_pe),
+            (self._retransmitted, report.retransmitted_bytes_per_pe),
+            (self._transported, report.transported_bytes_per_pe),
+        )
+        with self._lock:
+            for totals, values in pairs:
+                for pe, v in enumerate(values):
+                    totals[pe] += v
+            for phase, v in report.phase_bytes.items():
+                self._phase_bytes[phase] += v
+            for phase, v in report.overlap_seconds.items():
+                self._overlap[phase] += v
+            for phase, v in report.overlap_window_seconds.items():
+                self._overlap_window[phase] += v
+            for route, v in report.route_bytes.items():
+                self._route_bytes[route] += v
+            self._collectives.extend(report.collectives)
+
     def record_collective(
         self,
         kind: str,
@@ -527,4 +614,6 @@ class TrafficMeter:
                 faults_detected_per_pe=list(self._faults_detected),
                 retries_per_pe=list(self._retries),
                 retransmitted_bytes_per_pe=list(self._retransmitted),
+                transported_bytes_per_pe=list(self._transported),
+                engine=self.engine,
             )

@@ -32,7 +32,12 @@ from ..faults.plan import FaultPlan
 from ..net.metrics import TrafficMeter, TrafficReport
 from ..net.router import TOPOLOGY_NAMES
 from ..mpi.comm import Communicator
-from ..mpi.engine import SpmdError, default_timeout, get_engine
+from ..mpi.engine import (
+    SpmdError,
+    default_timeout,
+    get_engine,
+    resolve_engine_name,
+)
 from ..net.cost_model import DEFAULT_MACHINE, MachineModel
 from ..strings.checker import check_distributed_sort, check_prefix_permutation
 from ..strings.packed import PackedStringArray, use_packed
@@ -85,9 +90,14 @@ class Cluster:
         The alpha-beta :class:`~repro.net.cost_model.MachineModel` used for
         modelled-time queries on results produced here.
     engine:
-        Execution backend name (see :data:`repro.mpi.engine.ENGINES`);
-        ``"threads"`` is the built-in simulator, a future ``"mpi"`` backend
-        plugs in via :func:`repro.mpi.engine.register_engine`.
+        Execution backend name (see :data:`repro.mpi.engine.ENGINES`):
+        ``"threads"`` is the built-in simulator, ``"processes"`` runs the
+        same rank programs as real OS processes
+        (:class:`repro.mpi.procengine.ProcessEngine`), and third-party
+        backends plug in via :func:`repro.mpi.engine.register_engine`.
+        ``None`` (default) inherits the process-level setting (the
+        ``REPRO_ENGINE`` environment variable, or ``"threads"``); see
+        ``docs/ENGINES.md`` for the backend contract.
     packed / async_exchange:
         Per-cluster versions of the former process-global toggles: ``True``
         / ``False`` force the packed hot path / split-phase exchange on or
@@ -133,7 +143,7 @@ class Cluster:
         num_pes: int = 8,
         *,
         machine: MachineModel = DEFAULT_MACHINE,
-        engine: str = "threads",
+        engine: Optional[str] = None,
         packed: Optional[bool] = None,
         async_exchange: Optional[bool] = None,
         exchange_topology: Optional[str] = None,
@@ -158,13 +168,13 @@ class Cluster:
         self.fault_plan = fault_plan
         self.wire_checksums = wire_checksums
         self.registry = registry if registry is not None else default_registry()
-        self.engine_name = engine
+        self.engine_name = resolve_engine_name(engine)
         # only pass the fault seam when a plan is installed: third-party
         # engine factories without the keyword keep working untouched
         engine_kwargs: Dict[str, Any] = {"timeout": self.timeout}
         if fault_plan is not None:
             engine_kwargs["fault_plan"] = fault_plan
-        self._engine = get_engine(engine)(num_pes, **engine_kwargs)
+        self._engine = get_engine(self.engine_name)(num_pes, **engine_kwargs)
         # serialises toggle application *together with* the run: the engine
         # has its own run lock, but the packed/async windows must cover the
         # whole run of the sort they belong to, not interleave with a
@@ -176,6 +186,29 @@ class Cluster:
     def engine(self):
         """The underlying execution engine (reused across sorts)."""
         return self._engine
+
+    def shutdown(self) -> None:
+        """Release the engine's resources; idempotent.
+
+        For the thread engine this drops the reusable machine state; for the
+        processes engine it reaps any stray workers and sweeps leftover
+        shared-memory segments.  The cluster stays usable afterwards (the
+        engine rebuilds what it needs on the next sort), so shutting down is
+        never *required* for correctness — it is the polite way to end a
+        session early, and what ``with Cluster(...) as cluster:`` does on
+        exit.
+        """
+        shutdown = getattr(self._engine, "shutdown", None)
+        if callable(shutdown):
+            shutdown()
+
+    def __enter__(self) -> "Cluster":
+        """Enter a session scope; :meth:`shutdown` runs on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Exit the session scope, releasing engine resources."""
+        self.shutdown()
 
     @contextmanager
     def _scoped_toggles(self):

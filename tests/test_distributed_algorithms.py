@@ -3,10 +3,16 @@
 Each algorithm is exercised through the ``dsort`` facade (which also runs the
 full contract checker) on inputs chosen to hit its specific mechanisms, plus
 direct SPMD-level tests of properties the facade does not expose.
+
+The whole module runs once per registered execution engine (the
+module-scoped ``spmd_engine`` fixture below scopes ``REPRO_ENGINE``), so
+every algorithm property proved here is proved on real OS processes too;
+engines the platform cannot run are skipped with the platform's reason.
 """
 
 import pytest
 
+from engine_conformance import engine_params, set_engine
 from repro.dist import MSConfig, dsort, ms_sort
 from repro.mpi import run_spmd
 from repro.strings.checker import check_distributed_sort
@@ -19,6 +25,13 @@ from repro.strings.generators import (
     suffix_instance,
 )
 from repro.strings.lcp import lcp_array
+
+@pytest.fixture(scope="module", params=engine_params(), autouse=True)
+def spmd_engine(request):
+    """Run every test of this module on each registered execution engine."""
+    with set_engine(request.param):
+        yield request.param
+
 
 SMALL_INPUTS = {
     "random": lambda: random_strings(900, 0, 18, seed=1),

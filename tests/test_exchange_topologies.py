@@ -21,12 +21,25 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from engine_conformance import engine_params, set_engine
 from repro.dist.api import ALGORITHMS
 from repro.net.router import TOPOLOGIES
 from repro.session import Cluster, default_registry
 from repro.strings.generators import dn_instance
 
 ROUTED = ("hypercube", "grid")
+
+
+@pytest.fixture(scope="module", params=engine_params(), autouse=True)
+def spmd_engine(request):
+    """Run every test of this module on each registered execution engine.
+
+    Module-scoped so the hypothesis tests can share it (function-scoped
+    parametrized fixtures would reset per example and trip health checks);
+    engines the platform cannot run are skipped with the platform's reason.
+    """
+    with set_engine(request.param):
+        yield request.param
 
 # tiny alphabet -> many shared prefixes and exact duplicates; empty strings
 # and more PEs than strings are reachable through the size bounds

@@ -132,3 +132,103 @@ def test_chaos_plans_replay_identically():
         first.report.faults_injected_per_pe
         == second.report.faults_injected_per_pe
     )
+
+
+class TestChaosAcrossEngines:
+    """The processes engine replays the same chaos schedules as the threads.
+
+    The injector is deterministic per channel and each channel is advanced
+    by exactly one process, so under one ``REPRO_CHAOS_SEED`` both engines
+    must fire the identical fault schedule and recover to bit-identical
+    outputs.  Injected counts are exact per PE on both engines; detected /
+    retried are compared on the processes engine's sequential arrival
+    processing (exact) against the thread engine as lower bounds (a thread
+    engine backoff pull may race a slow sender and benignly re-pull).
+    """
+
+    def _require_processes(self):
+        from repro.mpi.procengine import process_engine_available
+
+        ok, reason = process_engine_available()
+        if not ok:
+            pytest.skip(reason)
+
+    def _sort_on(self, engine_name, fault_kind, max_retries=0):
+        if fault_kind == "crash":
+            plan = FaultPlan(
+                seed=CHAOS_SEED,
+                rules=(FaultRule(kind="crash", rank=1, after=1, max_hits=1),),
+            )
+        else:
+            plan = _plan(fault_kind)
+        # hypercube routing moves buckets as point-to-point messages, so
+        # the message rules actually strike (the direct exchange of ``ms``
+        # rides on collectives the plan's src/dst rules do not match)
+        cluster = Cluster(
+            num_pes=NUM_PES,
+            engine=engine_name,
+            exchange_topology="hypercube",
+            timeout=TIMEOUT,
+            fault_plan=plan,
+        )
+        with cluster:
+            result = cluster.sort(
+                _workload(), "ms", check=True, max_retries=max_retries
+            )
+        return cluster, result
+
+    @pytest.mark.parametrize("fault_kind", ("drop", "corrupt"))
+    def test_message_faults_reproduce_thread_counters(self, fault_kind):
+        self._require_processes()
+        tcluster, threaded = self._sort_on("threads", fault_kind)
+        pcluster, processed = self._sort_on("processes", fault_kind)
+
+        # bit-identical recovery across engines
+        assert processed.outputs_per_pe == threaded.outputs_per_pe
+        assert processed.lcps_per_pe == threaded.lcps_per_pe
+        assert (
+            processed.report.origin_bytes_sent
+            == threaded.report.origin_bytes_sent
+        )
+
+        # the deterministic schedule fires identically on both engines
+        assert (
+            pcluster.engine._injector.injected_counts()
+            == tcluster.engine._injector.injected_counts()
+        )
+        assert (
+            processed.report.faults_injected_per_pe
+            == threaded.report.faults_injected_per_pe
+        )
+        assert (
+            processed.report.faults_injected
+            == pcluster.engine._injector.total_injected
+        )
+
+        # every injected fault was detected and repaired on both engines;
+        # the thread engine's counters bound the processes engine's from
+        # below only up to benign backoff re-pull races, so both are held
+        # to the same invariant rather than to each other bit-for-bit
+        for report in (processed.report, threaded.report):
+            assert report.faults_injected > 0
+            assert report.faults_detected >= report.faults_injected
+            assert report.retries >= report.faults_injected
+            assert report.retransmitted_bytes > 0
+
+    def test_crash_recovers_identically_via_session_retry(self):
+        self._require_processes()
+        _, tbase = self._sort_on("threads", "crash", max_retries=2)
+        _, pbase = self._sort_on("processes", "crash", max_retries=2)
+        assert pbase.outputs_per_pe == tbase.outputs_per_pe
+        assert pbase.report.faults_injected == tbase.report.faults_injected == 1
+        assert pbase.report.job_retries == tbase.report.job_retries == 1
+
+    def test_straggle_fires_identically(self):
+        self._require_processes()
+        tcluster, threaded = self._sort_on("threads", "straggle")
+        pcluster, processed = self._sort_on("processes", "straggle")
+        assert processed.outputs_per_pe == threaded.outputs_per_pe
+        assert (
+            pcluster.engine._injector.injected_counts()
+            == tcluster.engine._injector.injected_counts()
+        )
