@@ -1,0 +1,58 @@
+"""Static analysis of the repro package: SPMD, wire-format and toggle lint.
+
+An AST-driven analyzer (python :mod:`ast` only — no third-party parser)
+that checks the invariants the runtime can only surface as deadlock
+timeouts or silent byte drift:
+
+* :mod:`~repro.analysis.spmd` — comm-graph extraction plus the classic
+  SPMD bugs (divergent collective order under rank-dependent branches,
+  orphaned receives, root/op mismatches, self-addressed blocking posts);
+* :mod:`~repro.analysis.wire` — wire-format discipline (verify-before-
+  decode on sealed blocks/frames, zero-copy hot path);
+* :mod:`~repro.analysis.toggles` — the central ``REPRO_*`` toggle
+  registry and its hygiene rules.
+
+Entry points: :func:`~repro.analysis.runner.run_lint` (library),
+``repro lint`` (CLI), ``tests/test_comm_lint.py`` (gate).  See
+``docs/ANALYSIS.md`` for the pass taxonomy, the comm-graph JSON schema
+and the ``# lint: spmd-ok(<rule>)`` suppression syntax.
+"""
+
+from .commgraph import (
+    PackageIndex,
+    build_commgraph,
+    collective_sequence,
+    detect_algorithms,
+    parse_tree,
+    transitive_closure,
+)
+from .model import CommEvent, Finding, FunctionSummary, LintReport, SuppressionIndex
+from .runner import (
+    default_source_root,
+    render_human,
+    render_json,
+    run_lint,
+    write_commgraphs,
+)
+from .toggles import REGISTRY, ToggleSpec
+
+__all__ = [
+    "PackageIndex",
+    "build_commgraph",
+    "collective_sequence",
+    "detect_algorithms",
+    "parse_tree",
+    "transitive_closure",
+    "CommEvent",
+    "Finding",
+    "FunctionSummary",
+    "LintReport",
+    "SuppressionIndex",
+    "default_source_root",
+    "render_human",
+    "render_json",
+    "run_lint",
+    "write_commgraphs",
+    "REGISTRY",
+    "ToggleSpec",
+]

@@ -1,0 +1,268 @@
+"""Pass 3 — central ``REPRO_*`` toggle registry and toggle-hygiene lint.
+
+Every process-global toggle the package reads from the environment is
+declared here, once, with its documentation string and its per-cluster
+knob (the :class:`repro.session.cluster.Cluster` constructor argument that
+scopes the same behaviour to one cluster instead of the whole process).
+The lint pass then enforces four invariants over the scanned tree:
+
+``toggle-unregistered``
+    An ``os.environ`` / ``os.getenv`` read of a ``REPRO_*`` name that has
+    no :data:`REGISTRY` entry.  New toggles must be declared centrally.
+
+``toggle-undocumented``
+    A registered toggle not mentioned in ``docs/API.md``.
+
+``toggle-knob-missing``
+    A registered toggle whose declared ``Cluster`` knob is not actually a
+    ``Cluster.__init__`` parameter (or that declares neither a knob nor an
+    explicit exemption reason).
+
+``toggle-stale``
+    A registered toggle with no environment read anywhere in the scanned
+    tree — a registry entry that outlived its code.  Only checked on full
+    package scans (fixture scans would trivially trip it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .commgraph import PackageIndex
+from .model import Finding
+
+__all__ = ["ToggleSpec", "REGISTRY", "run_toggle_pass", "find_env_reads"]
+
+
+@dataclass(frozen=True)
+class ToggleSpec:
+    """One declared process-global environment toggle."""
+
+    #: the ``REPRO_*`` environment variable name
+    name: str
+    #: one-line description (mirrored by the docs/API.md row)
+    description: str
+    #: the ``Cluster.__init__`` keyword that scopes the same behaviour to a
+    #: single cluster; ``None`` only together with ``exempt_reason``
+    knob: Optional[str] = None
+    #: why no per-cluster knob exists, when ``knob`` is ``None``
+    exempt_reason: Optional[str] = None
+
+
+#: the central registry: every ``REPRO_*`` environment read in the package
+#: must correspond to exactly one entry here.
+REGISTRY: Tuple[ToggleSpec, ...] = (
+    ToggleSpec(
+        name="REPRO_PACKED",
+        description=(
+            "Packed (arena-backed) string representation on the hot path; "
+            "'0' falls back to python-object string lists."
+        ),
+        knob="packed",
+    ),
+    ToggleSpec(
+        name="REPRO_ASYNC_EXCHANGE",
+        description=(
+            "Split-phase isend/irecv bucket exchange instead of the "
+            "synchronous alltoall; '1' opts in."
+        ),
+        knob="async_exchange",
+    ),
+    ToggleSpec(
+        name="REPRO_EXCHANGE_TOPOLOGY",
+        description=(
+            "Exchange routing topology: 'direct' (default), 'hypercube', "
+            "or 'grid'."
+        ),
+        knob="exchange_topology",
+    ),
+    ToggleSpec(
+        name="REPRO_WIRE_CHECKSUMS",
+        description=(
+            "CRC32 content seals on wire frames (StringBlock / "
+            "LcpCompressedBlock / RouteFrame); '1' opts in."
+        ),
+        knob="wire_checksums",
+    ),
+    ToggleSpec(
+        name="REPRO_SPMD_TIMEOUT",
+        description=(
+            "SPMD rank-program watchdog timeout in seconds (default 600); "
+            "read at every engine launch."
+        ),
+        knob="timeout",
+    ),
+    ToggleSpec(
+        name="REPRO_ENGINE",
+        description=(
+            "Default execution engine when none is requested explicitly: "
+            "'threads' (default) or 'processes'."
+        ),
+        knob="engine",
+    ),
+)
+
+_BY_NAME: Dict[str, ToggleSpec] = {spec.name: spec for spec in REGISTRY}
+
+
+def find_env_reads(index: PackageIndex) -> List[Tuple[str, str, int]]:
+    """All literal ``REPRO_*`` environment reads: (name, path, line).
+
+    Recognises ``os.environ.get(...)``, ``os.environ[...]``,
+    ``os.getenv(...)`` and the same spellings on a bare ``environ`` /
+    ``getenv`` import.  Non-literal names are invisible to this pass (and
+    to every other static consumer, which is why the convention bans
+    them).
+    """
+    reads: List[Tuple[str, str, int]] = []
+    for module in sorted(index.modules):
+        info = index.modules[module]
+        for node in ast.walk(info.tree):  # type: ignore[arg-type]
+            name = _env_read_name(node)
+            if name is not None and name.startswith("REPRO_"):
+                reads.append((name, info.path, node.lineno))  # type: ignore[attr-defined]
+    return reads
+
+
+def _env_read_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "get" and _is_environ(func.value):
+                return _literal_str(node.args[0]) if node.args else None
+            if func.attr == "getenv" and _is_os(func.value):
+                return _literal_str(node.args[0]) if node.args else None
+        elif isinstance(func, ast.Name) and func.id == "getenv":
+            return _literal_str(node.args[0]) if node.args else None
+        return None
+    if isinstance(node, ast.Subscript) and _is_environ(node.value):
+        return _literal_str(node.slice)
+    return None
+
+
+def _is_environ(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "environ" and _is_os(expr.value)
+    return isinstance(expr, ast.Name) and expr.id == "environ"
+
+
+def _is_os(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id == "os"
+
+
+def _literal_str(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _cluster_knobs(index: PackageIndex) -> Optional[List[str]]:
+    """``Cluster.__init__`` parameter names, if the class is in the tree."""
+    key = None
+    for candidate in index.functions:
+        if candidate.endswith(":Cluster.__init__"):
+            key = candidate
+            break
+    if key is None:
+        return None
+    node = index.nodes[key]
+    args = getattr(node, "args", None)
+    if args is None:
+        return None
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)]
+    return [n for n in names if n != "self"]
+
+
+def run_toggle_pass(
+    index: PackageIndex,
+    docs_text: Optional[str] = None,
+    full_tree: bool = True,
+) -> List[Finding]:
+    """Enforce the four toggle-hygiene invariants over the indexed tree.
+
+    ``docs_text`` is the content of ``docs/API.md`` (``None`` skips the
+    documentation rule, e.g. for installed trees without docs).
+    ``full_tree`` gates the stale-entry rule to whole-package scans.
+    """
+    findings: List[Finding] = []
+    reads = find_env_reads(index)
+
+    for name, path, line in reads:
+        if name not in _BY_NAME:
+            findings.append(
+                Finding(
+                    rule="toggle-unregistered",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"environment read of {name} has no entry in the "
+                        "central toggle registry "
+                        "(repro.analysis.toggles.REGISTRY); declare it with "
+                        "a description and Cluster knob mapping (or explicit "
+                        "exemption)"
+                    ),
+                    context=name,
+                )
+            )
+
+    knobs = _cluster_knobs(index)
+    registry_path = "repro.analysis.toggles.REGISTRY"
+    for spec in REGISTRY:
+        if docs_text is not None and spec.name not in docs_text:
+            findings.append(
+                Finding(
+                    rule="toggle-undocumented",
+                    path="docs/API.md",
+                    line=1,
+                    message=(
+                        f"registered toggle {spec.name} is not mentioned in "
+                        "docs/API.md; every toggle needs a documentation row"
+                    ),
+                    context=spec.name,
+                )
+            )
+        if spec.knob is None:
+            if not spec.exempt_reason:
+                findings.append(
+                    Finding(
+                        rule="toggle-knob-missing",
+                        path=registry_path,
+                        line=1,
+                        message=(
+                            f"toggle {spec.name} declares neither a Cluster "
+                            "knob nor an exemption reason"
+                        ),
+                        context=spec.name,
+                    )
+                )
+        elif knobs is not None and spec.knob not in knobs:
+            findings.append(
+                Finding(
+                    rule="toggle-knob-missing",
+                    path=registry_path,
+                    line=1,
+                    message=(
+                        f"toggle {spec.name} declares Cluster knob "
+                        f"{spec.knob!r}, but Cluster.__init__ has no such "
+                        "parameter"
+                    ),
+                    context=spec.name,
+                )
+            )
+        if full_tree and spec.name not in {name for name, _, _ in reads}:
+            findings.append(
+                Finding(
+                    rule="toggle-stale",
+                    path=registry_path,
+                    line=1,
+                    message=(
+                        f"registered toggle {spec.name} has no environment "
+                        "read anywhere in the scanned tree; remove the stale "
+                        "registry entry"
+                    ),
+                    context=spec.name,
+                )
+            )
+    return findings

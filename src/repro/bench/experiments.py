@@ -21,7 +21,7 @@ paper-vs-measured comparison produced with these defaults.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..dist.api import distribute_strings
 from ..session import MSSimpleSpec, MSSpec, PDMSGolombSpec, PDMSSpec

@@ -26,7 +26,7 @@ import resource
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..dist.api import DSortResult
 from ..dist.exchange import async_exchange_enabled, exchange_topology_name

@@ -171,6 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--output", "-o", required=True)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static analyzer (SPMD, wire-format and toggle lint)",
+    )
+    p_lint.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="machine-readable report (deterministic key order)",
+    )
+    p_lint.add_argument(
+        "--root",
+        help="source tree to analyze (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--comm-graph", dest="comm_graph", metavar="DIR",
+        help="write one commgraph-<algorithm>.json artifact per algorithm",
+    )
+
     return parser
 
 
@@ -319,6 +336,22 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the static analyzer; exit 0 on a clean tree, 1 on findings."""
+    from pathlib import Path
+
+    from .analysis import render_human, render_json, run_lint, write_commgraphs
+
+    root = Path(args.root) if args.root else None
+    report = run_lint(root=root)
+    if args.comm_graph:
+        written = write_commgraphs(report, Path(args.comm_graph))
+        if not args.json_out:
+            print(f"wrote {len(written)} comm-graph artifact(s) to {args.comm_graph}")
+    print(render_json(report) if args.json_out else render_human(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -331,6 +364,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

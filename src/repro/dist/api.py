@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -375,7 +375,7 @@ def pdms_sort(
         )
         prefix_lcps = packed_lcp_array(prefixes)
     else:
-        prefixes = [s[:l] for s, l in zip(local_sorted, doubling.lengths)]
+        prefixes = [s[:n] for s, n in zip(local_sorted, doubling.lengths)]
         prefix_lcps = lcp_array(prefixes)
 
     splitters = determine_splitters(

@@ -158,13 +158,13 @@ class LcpLoserTree:
             winner_lcps[size + i] = 0
         for node in range(size - 1, 0, -1):
             left, right = winners[2 * node], winners[2 * node + 1]
-            w, l, h = self._play(left, right)
+            w, loser, h = self._play(left, right)
             winners[node] = w
-            self._loser[node] = l
+            self._loser[node] = loser
             self._loser_lcp[node] = h
             # the loser's cached LCP must refer to the winner that passed it,
             # which is the reference string the next replay of this node uses
-            self._cur_lcp[l] = h
+            self._cur_lcp[loser] = h
             winner_lcps[node] = self._cur_lcp[w]
         self._winner = winners[1] if size > 1 else 0
         self._winner_lcp = 0

@@ -16,7 +16,7 @@ inspected characters so benchmarks can demonstrate the difference.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .stats import CharStats
 

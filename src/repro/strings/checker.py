@@ -17,7 +17,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from .lcp import lcp, verify_lcp_array
+from .lcp import verify_lcp_array
 
 __all__ = [
     "SortCheckError",

@@ -26,7 +26,7 @@ the paper's constructions.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

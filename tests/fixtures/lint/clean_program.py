@@ -1,0 +1,21 @@
+"""A correct rank program: every pass must stay silent on this file.
+
+Exercises the idioms the analyzer must *not* flag: a rank-dependent
+branch whose arms differ only in point-to-point traffic (the classic
+fold), tag-matched send/recv pairs, a single-rooted gather, and peer
+arithmetic that genuinely varies across ranks.
+"""
+
+
+def clean_fold_sort(comm, local):
+    rank = comm.rank
+    size = comm.size
+    local = sorted(local)
+    comm.allgather(local[:1])
+    half = size // 2
+    if half and rank >= half:
+        comm.send(local, rank - half, tag=21)
+    elif rank + half < size:
+        local = local + comm.recv(rank + half, tag=21)
+    comm.barrier()
+    return comm.gather(local, root=0)

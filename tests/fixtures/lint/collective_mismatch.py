@@ -1,0 +1,12 @@
+"""Seeded bug: rooted collectives of one phase disagreeing on the root.
+
+The gather collects on rank 0 but the broadcast fans out from rank 1 —
+one of the two call sites was edited and its twin forgotten.  Expected
+finding: ``spmd-collective-mismatch``.
+"""
+
+
+def mismatched_roots(comm, counts):
+    with comm.phase("splitters"):
+        sample = comm.gather(counts, root=0)
+        return comm.bcast(sample, root=1)

@@ -1,0 +1,12 @@
+"""Seeded bug: ``to_list()`` inside a packed hot-path function.
+
+``decode_run`` is on the zero-copy hot path; materializing the packed
+arena into python objects there re-introduces exactly the overhead the
+packed representation exists to avoid.  Expected finding:
+``wire-hot-materialize``.
+"""
+
+
+def decode_run(block):
+    strings = block.to_list()
+    return sorted(strings)

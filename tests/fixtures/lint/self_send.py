@@ -1,0 +1,13 @@
+"""Seeded bug: a blocking send whose peer arithmetic folds to the caller.
+
+``rank + cube - cube`` is identically ``comm.rank``, so the blocking send
+addresses the sending rank itself and can never complete.  Expected
+finding: ``spmd-self-send``.
+"""
+
+
+def fold_to_self(comm, payload):
+    rank = comm.rank
+    cube = 0
+    comm.send(payload, rank + cube, tag=31)
+    return comm.recv(rank ^ 0, tag=31)

@@ -1,0 +1,21 @@
+"""Seeded bug: a sealed wire block decoded without verifying its seal.
+
+The class carries a content CRC and a ``_verify_seal`` method, but its
+``decode`` never calls it — corrupt frames decode silently when fault
+rules flip bytes in flight.  Expected finding: ``wire-unverified-decode``.
+"""
+
+import zlib
+
+
+class SealedBlock:
+    def __init__(self, blob, crc):
+        self.blob = blob
+        self.content_crc = crc
+
+    def _verify_seal(self):
+        if zlib.crc32(self.blob) != self.content_crc:
+            raise ValueError("seal mismatch")
+
+    def decode(self):
+        return self.blob.split(b"\x00")

@@ -1,0 +1,14 @@
+"""Seeded bug: a ``REPRO_*`` environment read with no registry entry.
+
+``REPRO_TURBO`` is read here but declared nowhere in
+``repro.analysis.toggles.REGISTRY``.  Expected finding:
+``toggle-unregistered``.
+"""
+
+import os
+
+_TURBO = os.environ.get("REPRO_TURBO", "0").strip() == "1"
+
+
+def turbo_enabled():
+    return _TURBO

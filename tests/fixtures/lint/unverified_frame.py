@@ -1,0 +1,13 @@
+"""Seeded bug: route-frame payload consumed without ``verify()``.
+
+The receive loop trusts ``frame.payload`` keyed by ``frame.origin``
+without checking the frame's content seal first.  Expected finding:
+``wire-unverified-frame``.
+"""
+
+
+def consume_frames(frames):
+    received = {}
+    for frame in frames:
+        received[frame.origin] = frame.payload
+    return received
