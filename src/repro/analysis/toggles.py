@@ -102,6 +102,14 @@ REGISTRY: Tuple[ToggleSpec, ...] = (
         ),
         knob="engine",
     ),
+    ToggleSpec(
+        name="REPRO_TRACE",
+        description=(
+            "Per-rank phase/comm timeline tracing (repro.obs); '1' arms the "
+            "ring-buffer recorders and attaches a Timeline to the report."
+        ),
+        knob="trace",
+    ),
 )
 
 _BY_NAME: Dict[str, ToggleSpec] = {spec.name: spec for spec in REGISTRY}

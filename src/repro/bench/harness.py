@@ -393,6 +393,32 @@ class ExperimentRunner:
             # multi-level routed delivery: expose the measured inflation
             cell.extra["forwarded_bytes"] = report.forwarded_bytes
             cell.extra["origin_bytes_sent"] = report.origin_bytes_sent
+        if report.barrier_wait_seconds:
+            # barrier waits metered separately so stage timings stay
+            # straggler-free (see docs/OBSERVABILITY.md)
+            cell.extra["barrier_wait_seconds"] = {
+                stage: round(secs, 6)
+                for stage, secs in sorted(report.barrier_wait_seconds.items())
+            }
+        if report.timeline is not None:
+            # traced runs (Cluster(trace=True) / REPRO_TRACE=1) carry the
+            # per-stage time series into the BENCH_* trajectory files
+            stage_secs = report.timeline.stage_seconds(exclusive=True)
+            cell.extra["stage_seconds"] = {
+                stage: round(secs, 6) for stage, secs in stage_secs.items()
+            }
+            cell.extra["stage_strings_per_second"] = {
+                stage: round(num_strings / secs, 1)
+                for stage, secs in stage_secs.items()
+                if secs > 0.0
+            }
+            cell.extra["stage_peak_rss_bytes"] = (
+                report.timeline.peak_rss_per_stage()
+            )
+            if report.timeline.dropped_events:
+                cell.extra["trace_dropped_events"] = (
+                    report.timeline.dropped_events
+                )
         self._store_cached_cell(cache_path, cell)
         return cell
 

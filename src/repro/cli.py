@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the workflows a downstream user needs most often:
+The subcommands cover the workflows a downstream user needs most often:
 
 * ``sort``        — sort a file of newline-separated strings (or a generated
                     workload) with any registered algorithm and report the
@@ -13,7 +13,13 @@ Four subcommands cover the workflows a downstream user needs most often:
 * ``experiment``  — run one of the canned figure reproductions and print its
                     tables (optionally dump JSON);
 * ``generate``    — write one of the synthetic workloads to a file, e.g. to
-                    feed external tools.
+                    feed external tools;
+* ``trace run``   — run a sort with per-rank tracing armed and export the
+                    timeline as Chrome-trace/Perfetto JSON (plus a terminal
+                    phase waterfall; see ``docs/OBSERVABILITY.md``);
+* ``metrics``     — run a traced sort and print its metrics snapshot in
+                    Prometheus text exposition or JSON;
+* ``lint``        — run the static analyzer over the source tree.
 
 The CLI is deliberately thin: it only parses arguments and delegates to the
 library (``repro.session``, ``repro.bench``), so everything it does is also
@@ -74,6 +80,76 @@ _EXPERIMENTS = {
 }
 
 
+def _add_sort_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared sort flags (``sort`` / ``trace run`` / ``metrics``).
+
+    ``--output`` is *not* added here: it means "sorted strings file" for
+    ``sort`` but "trace artifact" for ``trace run``, so each subcommand
+    declares its own.
+    """
+    parser.add_argument(
+        "--algorithm", "-a", choices=default_registry().names(), default="ms"
+    )
+    parser.add_argument("--num-pes", "-p", type=int, default=8)
+    parser.add_argument("--input", "-i", help="file with one string per line (default: generate)")
+    parser.add_argument("--workload", "-w", choices=sorted(_GENERATORS), default="dn50")
+    parser.add_argument("--num-strings", "-n", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check", action="store_true", help="verify the output contracts")
+    parser.add_argument(
+        "--sampling", choices=("string", "character"), default="string",
+        help="regular sampling scheme for the splitter determination",
+    )
+    parser.add_argument(
+        "--distribute-by", choices=("strings", "chars"), default="strings",
+        help="input distribution criterion: balance string counts or "
+        "character mass (the latter for length-skewed workloads)",
+    )
+    parser.add_argument(
+        "--spec",
+        help="full SortSpec as JSON (inline, or @path to a file); parsed via "
+        "SortSpec.from_dict and overriding --algorithm/--sampling/"
+        "--distribute-by/--seed",
+    )
+    parser.add_argument(
+        "--async-exchange", action="store_true",
+        help="run the bucket exchange split-phase (overlaps merge preparation "
+        "with delivery; outputs and wire bytes are bit-identical)",
+    )
+    parser.add_argument(
+        "--exchange-topology", choices=("direct", "hypercube", "grid"),
+        default=None,
+        help="bucket all-to-all delivery strategy: direct (default), or "
+        "multi-level routed delivery (hypercube: log2(p) rounds, grid: "
+        "row+column phases); outputs and origin wire bytes are identical, "
+        "forwarded routing bytes are reported separately",
+    )
+    parser.add_argument(
+        "--engine", default=None,
+        help="execution backend: threads (simulated, default) or processes "
+        "(real OS processes with shared-memory payload transport); outputs "
+        "and wire bytes are bit-identical across engines (default: the "
+        "REPRO_ENGINE environment variable, or threads)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="deadlock-detection timeout per blocking operation, in seconds "
+        "(default: the REPRO_SPMD_TIMEOUT environment variable, or 600)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        help="fault-injection plan as JSON (inline, or @path to a file); "
+        "installs a seeded chaos schedule (drops, duplicates, delays, "
+        "corruption, crashes, stragglers — see docs/FAULTS.md) and prints "
+        "the injected/detected/retried counters",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-run the sort up to this many times if a fault (e.g. an "
+        "injected rank crash) aborts it (default: 0, fail fast)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (``sort`` / ``experiment``)."""
     parser = argparse.ArgumentParser(
@@ -83,67 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sort = sub.add_parser("sort", help="sort strings with a distributed algorithm")
-    p_sort.add_argument(
-        "--algorithm", "-a", choices=default_registry().names(), default="ms"
-    )
-    p_sort.add_argument("--num-pes", "-p", type=int, default=8)
-    p_sort.add_argument("--input", "-i", help="file with one string per line (default: generate)")
-    p_sort.add_argument("--workload", "-w", choices=sorted(_GENERATORS), default="dn50")
-    p_sort.add_argument("--num-strings", "-n", type=int, default=5000)
-    p_sort.add_argument("--seed", type=int, default=0)
-    p_sort.add_argument("--check", action="store_true", help="verify the output contracts")
+    _add_sort_options(p_sort)
     p_sort.add_argument("--output", "-o", help="write the sorted strings to this file")
     p_sort.add_argument(
-        "--sampling", choices=("string", "character"), default="string",
-        help="regular sampling scheme for the splitter determination",
-    )
-    p_sort.add_argument(
-        "--distribute-by", choices=("strings", "chars"), default="strings",
-        help="input distribution criterion: balance string counts or "
-        "character mass (the latter for length-skewed workloads)",
-    )
-    p_sort.add_argument(
-        "--spec",
-        help="full SortSpec as JSON (inline, or @path to a file); parsed via "
-        "SortSpec.from_dict and overriding --algorithm/--sampling/"
-        "--distribute-by/--seed",
-    )
-    p_sort.add_argument(
-        "--async-exchange", action="store_true",
-        help="run the bucket exchange split-phase (overlaps merge preparation "
-        "with delivery; outputs and wire bytes are bit-identical)",
-    )
-    p_sort.add_argument(
-        "--exchange-topology", choices=("direct", "hypercube", "grid"),
-        default=None,
-        help="bucket all-to-all delivery strategy: direct (default), or "
-        "multi-level routed delivery (hypercube: log2(p) rounds, grid: "
-        "row+column phases); outputs and origin wire bytes are identical, "
-        "forwarded routing bytes are reported separately",
-    )
-    p_sort.add_argument(
-        "--engine", default=None,
-        help="execution backend: threads (simulated, default) or processes "
-        "(real OS processes with shared-memory payload transport); outputs "
-        "and wire bytes are bit-identical across engines (default: the "
-        "REPRO_ENGINE environment variable, or threads)",
-    )
-    p_sort.add_argument(
-        "--timeout", type=float, default=None,
-        help="deadlock-detection timeout per blocking operation, in seconds "
-        "(default: the REPRO_SPMD_TIMEOUT environment variable, or 600)",
-    )
-    p_sort.add_argument(
-        "--fault-plan",
-        help="fault-injection plan as JSON (inline, or @path to a file); "
-        "installs a seeded chaos schedule (drops, duplicates, delays, "
-        "corruption, crashes, stragglers — see docs/FAULTS.md) and prints "
-        "the injected/detected/retried counters",
-    )
-    p_sort.add_argument(
-        "--max-retries", type=int, default=0,
-        help="re-run the sort up to this many times if a fault (e.g. an "
-        "injected rank crash) aborts it (default: 0, fail fast)",
+        "--trace", action="store_true",
+        help="arm per-rank timeline tracing (repro.obs) and print a terminal "
+        "phase waterfall with the report; outputs and byte accounting are "
+        "bit-identical with tracing on or off",
     )
 
     p_alg = sub.add_parser(
@@ -188,6 +210,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one commgraph-<algorithm>.json artifact per algorithm",
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="run a traced sort and export the per-rank timeline"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_run = trace_sub.add_parser(
+        "run", help="sort with tracing armed and write a Chrome-trace JSON"
+    )
+    _add_sort_options(p_trace_run)
+    p_trace_run.add_argument(
+        "--output", "-o", required=True,
+        help="Chrome-trace/Perfetto JSON artifact path (open in "
+        "chrome://tracing or https://ui.perfetto.dev)",
+    )
+    p_trace_run.add_argument(
+        "--metrics-out",
+        help="also write the derived metrics snapshot as JSON to this file",
+    )
+    p_trace_run.add_argument(
+        "--no-waterfall", action="store_true",
+        help="skip the terminal phase waterfall",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a traced sort and print its metrics snapshot"
+    )
+    _add_sort_options(p_metrics)
+    p_metrics.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="Prometheus text exposition (default) or JSON",
+    )
+    p_metrics.add_argument(
+        "--output", "-o",
+        help="write the snapshot to this file instead of stdout",
+    )
+
     return parser
 
 
@@ -226,12 +283,17 @@ def _load_fault_plan(raw: Optional[str]):
     return FaultPlan.from_json(raw)
 
 
-def _cmd_sort(args) -> int:
+def _run_sort(args, trace: Optional[bool]):
+    """Build the cluster from the shared flags and run one sort.
+
+    Returns ``(data, spec, plan, cluster, result)`` so each subcommand can
+    render its own view of the same run.
+    """
     data = _load_or_generate(args)
     spec = _spec_from_args(args)
     plan = _load_fault_plan(args.fault_plan)
-    # the flag only ever opts *in*: without it the REPRO_ASYNC_EXCHANGE
-    # environment setting (or the default, off) stays in charge
+    # the flags only ever opt *in*: without them the REPRO_ASYNC_EXCHANGE /
+    # REPRO_TRACE environment settings (or the defaults, off) stay in charge
     cluster = Cluster(
         num_pes=args.num_pes,
         engine=args.engine,
@@ -239,11 +301,19 @@ def _cmd_sort(args) -> int:
         exchange_topology=args.exchange_topology,
         timeout=args.timeout,
         fault_plan=plan,
+        trace=trace,
     )
     with cluster:
         result = cluster.sort(
             data, spec, check=args.check, max_retries=args.max_retries
         )
+    return data, spec, plan, cluster, result
+
+
+def _cmd_sort(args) -> int:
+    data, spec, plan, cluster, result = _run_sort(
+        args, trace=True if args.trace else None
+    )
     report = result.report
     print(f"algorithm          : {result.algorithm}")
     print(f"config hash        : {spec.config_hash()}")
@@ -282,11 +352,72 @@ def _cmd_sort(args) -> int:
         print(f"exchange overlap   : {result.overlap_fraction():.2f} of the delivery window")
     if args.check:
         print("output check       : passed")
+    if report.timeline is not None:
+        from .obs import render_waterfall
+
+        print()
+        print(render_waterfall(report.timeline))
     if args.output:
         with open(args.output, "wb") as fh:
             for s in result.sorted_strings:
                 fh.write(s + b"\n")
         print(f"sorted output      : {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace run``: traced sort → Chrome-trace JSON (+ waterfall)."""
+    from .obs import render_waterfall, write_chrome_trace
+
+    _data, spec, _plan, cluster, result = _run_sort(args, trace=True)
+    report = result.report
+    timeline = report.timeline
+    if timeline is None:  # pragma: no cover - tracing was explicitly armed
+        print("error: the run produced no timeline", file=sys.stderr)
+        return 1
+    write_chrome_trace(
+        timeline,
+        args.output,
+        meta={
+            "algorithm": result.algorithm,
+            "config_hash": spec.config_hash(),
+            "engine": cluster.engine_name,
+            "num_strings": result.num_strings,
+        },
+    )
+    print(f"algorithm          : {result.algorithm}")
+    print(f"engine             : {cluster.engine_name}")
+    print(f"simulated PEs      : {args.num_pes}")
+    print(f"trace spans        : {len(timeline.spans)} "
+          f"({timeline.dropped_events} dropped)")
+    print(f"trace written      : {args.output}")
+    if report.metrics is not None and args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(report.metrics.to_json(), fh, indent=2)
+        print(f"metrics written    : {args.metrics_out}")
+    if not args.no_waterfall:
+        print()
+        print(render_waterfall(timeline))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """``repro metrics``: traced sort → Prometheus text / JSON snapshot."""
+    _data, _spec, _plan, _cluster, result = _run_sort(args, trace=True)
+    metrics = result.report.metrics
+    if metrics is None:  # pragma: no cover - tracing was explicitly armed
+        print("error: the run produced no metrics snapshot", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        rendered = json.dumps(metrics.to_json(), indent=2) + "\n"
+    else:
+        rendered = metrics.render_prometheus()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered)
+        print(f"metrics written    : {args.output}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
     return 0
 
 
@@ -366,6 +497,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -46,6 +46,8 @@ from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.wire import Envelope, envelope_overhead
 from ..net.metrics import TrafficMeter, TrafficReport
+from ..obs.recorder import DEFAULT_CAPACITY, Recorder, resolve_trace
+from ..obs.timeline import Timeline
 from .comm import Communicator, ReduceOp, Request
 from .serialization import payload_checksum, wire_size
 
@@ -125,6 +127,10 @@ class _SharedState:
     meter: TrafficMeter
     timeout: float
     injector: Optional[FaultInjector] = None
+    #: per-rank trace recorders of the *current* run (``None`` = tracing
+    #: off); re-armed by the engine before every run, never reused across
+    #: runs (a recorder's ring belongs to exactly one run's timeline)
+    recorders: Optional[List[Recorder]] = None
 
     def __post_init__(self) -> None:
         self.barrier = threading.Barrier(self.num_pes)
@@ -170,6 +176,7 @@ class _SharedState:
         self.error_event = threading.Event()
         self.errors = []
         self.channels = {}
+        self.recorders = None
 
     def is_clean(self) -> bool:
         """Whether this state can be reused (no errors, no stray messages)."""
@@ -331,10 +338,20 @@ class MeteredComm(Communicator):
     is the executable contract for third-party ones.
     """
 
-    def __init__(self, rank: int, size: int, fault: bool):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        fault: bool,
+        recorder: Optional[Recorder] = None,
+    ):
         self.rank = rank
         self.size = size
         self._phase = "unlabelled"
+        #: this rank's trace recorder, or ``None`` with tracing off — every
+        #: instrumentation site is a single ``is None`` test, so the traced
+        #: path costs nothing when disarmed (pinned by BENCH_PR10)
+        self._recorder = recorder
         self._pending_recvs: Dict[int, Deque[Any]] = {}
         #: whether a fault plan is installed (adds envelope framing + recovery)
         self._fault = fault
@@ -384,6 +401,9 @@ class MeteredComm(Communicator):
         self._phase = name
         meter = self._meter
         meter.set_phase(self.rank, name)
+        rec = self._recorder
+        if rec is not None:
+            rec.phase(name)
         injector = self._injector
         if injector is not None:
             action = injector.on_phase(self.rank, name)
@@ -392,12 +412,19 @@ class MeteredComm(Communicator):
                     meter.record_fault_injected(self.rank)
                     # a crash is trivially "detected": the run aborts loudly
                     meter.record_fault_detected(self.rank)
+                    if rec is not None:
+                        rec.instant("fault-crash", {"phase": name})
                     raise RankCrashError(
                         f"rank {self.rank} crashed entering phase {name!r} "
                         "(fault plan)"
                     )
                 if action.kind == "straggle":
                     meter.record_fault_injected(self.rank)
+                    if rec is not None:
+                        rec.instant(
+                            "fault-straggle",
+                            {"phase": name, "seconds": action.seconds},
+                        )
                     time.sleep(action.seconds)
 
     def get_phase(self) -> str:
@@ -527,6 +554,12 @@ class MeteredComm(Communicator):
             # a retransmit repeats the envelope's wire cost without being
             # origin volume — accounted like forwarded traffic
             meter.record_retransmit(source, self.rank, env_bytes, phase=self._phase)
+            rec = self._recorder
+            if rec is not None:
+                rec.instant(
+                    "retransmit",
+                    {"source": source, "seq": seq, "bytes": env_bytes},
+                )
             action = injector.on_retransmit(source, self.rank, self._phase)
             if action is not None and action.kind == "corrupt":
                 # the retransmit was struck too (one more injected fault on
@@ -582,10 +615,25 @@ class MeteredComm(Communicator):
 
     # ------------------------------------------------------------------ collectives
     def barrier(self) -> None:
-        """Synchronise all ranks (recorded as one zero-byte collective)."""
+        """Synchronise all ranks (recorded as one zero-byte collective).
+
+        The wait itself is metered as its **own** account
+        (:meth:`TrafficMeter.record_barrier_wait`, plus a ``barrier`` trace
+        span when tracing): blocked-on-straggler time must not inflate the
+        surrounding phase's timings.
+        """
         if self.rank == 0:
             self._meter.record_collective("barrier", 0, self.size, self._phase)
+        rec = self._recorder
+        if rec is not None:
+            rec.begin("barrier")
+        t0 = time.monotonic()
         self._barrier_wait()
+        self._meter.record_barrier_wait(
+            self.rank, self._phase, time.monotonic() - t0
+        )
+        if rec is not None:
+            rec.end("barrier")
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
         """Broadcast from ``root``; accounted as a binomial tree."""
@@ -731,7 +779,12 @@ class ThreadComm(MeteredComm):
     """Communicator backed by the thread engine's shared state."""
 
     def __init__(self, rank: int, state: _SharedState):
-        super().__init__(rank, state.num_pes, fault=state.injector is not None)
+        super().__init__(
+            rank,
+            state.num_pes,
+            fault=state.injector is not None,
+            recorder=state.recorders[rank] if state.recorders else None,
+        )
         self._state = state
 
     # ------------------------------------------------------------------ engine hooks
@@ -784,6 +837,9 @@ class ThreadComm(MeteredComm):
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         size = wire_size(obj) if nbytes is None else nbytes
+        rec = self._recorder
+        if rec is not None:
+            rec.comm("send", dest, size)
         if not self._fault:
             self._state.meter.record_send(self.rank, dest, size)
             self._state.queues[(self.rank, dest)].put((tag, obj))
@@ -954,12 +1010,18 @@ class ThreadEngine:
         num_pes: int,
         timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        trace: Optional[bool] = None,
+        trace_capacity: int = DEFAULT_CAPACITY,
     ):
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
         self.num_pes = num_pes
         # None -> the process-wide default (REPRO_SPMD_TIMEOUT env or 600 s)
         self.timeout = default_timeout() if timeout is None else timeout
+        #: whether runs record per-rank trace timelines (explicit flag >
+        #: ``REPRO_TRACE`` env > off); see :mod:`repro.obs`
+        self.trace = resolve_trace(trace)
+        self.trace_capacity = trace_capacity
         #: the installed chaos schedule, or None for the zero-overhead path
         self.fault_plan = fault_plan
         # the injector outlives individual runs so single-shot rules (e.g.
@@ -1044,6 +1106,12 @@ class ThreadEngine:
     ) -> Tuple[List[Any], TrafficReport]:
         num_pes = self.num_pes
         state = self._acquire_state(meter, timeout)
+        state.recorders = (
+            [Recorder(rank, capacity=self.trace_capacity) for rank in range(num_pes)]
+            if self.trace
+            else None
+        )
+        recorders = state.recorders
         results: List[Any] = [None] * num_pes
 
         def runner(rank: int) -> None:
@@ -1060,6 +1128,9 @@ class ThreadEngine:
                 state.barrier.abort()
             except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
                 state.fail(exc)
+            finally:
+                if recorders is not None:
+                    recorders[rank].finish()
 
         threads = [
             threading.Thread(target=runner, args=(rank,), name=f"pe-{rank}", daemon=True)
@@ -1079,7 +1150,13 @@ class ThreadEngine:
             raise SpmdError(
                 f"SPMD run on {num_pes} PEs failed: {primary!r}"
             ) from primary
-        return results, meter.report()
+        report = meter.report()
+        if recorders is not None:
+            report.timeline = Timeline.from_exports(
+                [rec.export() for rec in recorders], num_pes
+            )
+            report.timeline.meta["engine"] = self.name
+        return results, report
 
     def shutdown(self) -> None:
         """Release the machine's shared state; idempotent.
@@ -1150,6 +1227,7 @@ def run_spmd(
     timeout: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
     engine: Optional[str] = None,
+    trace: Optional[bool] = None,
 ) -> Tuple[List[Any], TrafficReport]:
     """Run one SPMD program on a throwaway simulated machine.
 
@@ -1160,12 +1238,17 @@ def run_spmd(
     ``REPRO_SPMD_TIMEOUT`` environment variable, or 600 s); ``fault_plan``
     installs a :class:`repro.faults.FaultPlan` chaos schedule; ``engine``
     picks the backend by registry name via :func:`resolve_engine_name`
-    (``None`` honours ``REPRO_ENGINE``, default ``"threads"``).
+    (``None`` honours ``REPRO_ENGINE``, default ``"threads"``); ``trace``
+    arms per-rank timeline recording (``None`` honours ``REPRO_TRACE`` —
+    and, like ``fault_plan``, the keyword is only forwarded when set, so
+    third-party factories without the seam keep working).
     """
     factory = get_engine(resolve_engine_name(engine))
     kwargs: Dict[str, Any] = {"timeout": timeout}
     if fault_plan is not None:
         kwargs["fault_plan"] = fault_plan
+    if trace is not None:
+        kwargs["trace"] = trace
     backend = factory(num_pes, **kwargs)
     try:
         return backend.run(

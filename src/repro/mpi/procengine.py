@@ -48,6 +48,8 @@ from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.wire import Envelope, envelope_overhead
 from ..net.metrics import TrafficMeter, TrafficReport
+from ..obs.recorder import DEFAULT_CAPACITY, Recorder, resolve_trace
+from ..obs.timeline import Timeline
 from . import shm
 from .comm import Request
 from .engine import (
@@ -178,8 +180,9 @@ class ProcComm(MeteredComm):
         timeout: float,
         shm_prefix: str,
         shm_threshold: int,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(rank, size, fault=injector is not None)
+        super().__init__(rank, size, fault=injector is not None, recorder=recorder)
         self._peer_conns = peer_conns
         self._error_event = error_event
         self._meter_obj = meter
@@ -381,6 +384,9 @@ class ProcComm(MeteredComm):
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         size = wire_size(obj) if nbytes is None else nbytes
+        rec = self._recorder
+        if rec is not None:
+            rec.comm("send", dest, size)
         if self._fault:
             self._fault_send(obj, dest, tag, size)
             return
@@ -545,14 +551,19 @@ def _worker_main(
     timeout: float,
     shm_prefix: str,
     shm_threshold: int,
+    trace: bool = False,
+    trace_capacity: int = DEFAULT_CAPACITY,
 ) -> None:
     """Entry point of one forked rank worker.
 
     Runs ``fn(comm, *rank_args, *common_args)`` against a fresh
     :class:`ProcComm`, then reports ``(status, result_or_exc, report,
-    injector_state)`` to the parent over its private pipe.  The worker's
-    meter is full-size (it records explicit rank slots exactly like the
-    thread engine's shared meter), so the parent's merge is exact.
+    injector_state, trace_export)`` to the parent over its private pipe.
+    The worker's meter is full-size (it records explicit rank slots exactly
+    like the thread engine's shared meter), so the parent's merge is exact;
+    with tracing on, the rank's recorder ring rides the same pipe as a
+    plain-data export and the parent rebuilds the aligned timeline
+    (``time.monotonic`` is shared across forked processes).
     """
     peers: Dict[int, Any] = {}
     for (i, j), (ci, cj) in pair_conns.items():
@@ -569,6 +580,7 @@ def _worker_main(
         if r != rank:
             conn.close()
     meter = TrafficMeter(size)
+    recorder = Recorder(rank, capacity=trace_capacity) if trace else None
     comm = ProcComm(
         rank,
         size,
@@ -579,6 +591,7 @@ def _worker_main(
         timeout,
         shm_prefix,
         shm_threshold,
+        recorder=recorder,
     )
     status = "done"
     payload: Any = None
@@ -598,16 +611,19 @@ def _worker_main(
         error_event.set()
     report = meter.report()
     state = injector.export_state() if injector is not None else None
+    if recorder is not None:
+        recorder.finish()
+    trace_export = recorder.export() if recorder is not None else None
     out = child_ends[rank]
     try:
-        out.send((status, payload, report, state))
+        out.send((status, payload, report, state, trace_export))
     except Exception:
         try:
             fallback = SpmdError(
                 f"rank {rank}: result of type "
                 f"{type(payload).__name__} could not be pickled"
             )
-            out.send(("failed", fallback, report, state))
+            out.send(("failed", fallback, report, state, trace_export))
         except Exception:  # pragma: no cover - parent sees EOF instead
             pass
     comm._teardown()
@@ -640,6 +656,8 @@ class ProcessEngine:
         timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         shm_threshold: Optional[int] = None,
+        trace: Optional[bool] = None,
+        trace_capacity: int = DEFAULT_CAPACITY,
     ):
         ok, reason = process_engine_available()
         if not ok:
@@ -648,6 +666,10 @@ class ProcessEngine:
             raise ValueError("num_pes must be positive")
         self.num_pes = num_pes
         self.timeout = default_timeout() if timeout is None else timeout
+        #: whether runs record per-rank trace timelines (explicit flag >
+        #: ``REPRO_TRACE`` env > off); see :mod:`repro.obs`
+        self.trace = resolve_trace(trace)
+        self.trace_capacity = trace_capacity
         #: the installed chaos schedule, or None for the zero-overhead path
         self.fault_plan = fault_plan
         # like the thread engine, the injector outlives individual runs so
@@ -732,6 +754,7 @@ class ProcessEngine:
                     rank, num_pes, pair_conns, child_ends, error_event,
                     fn, args_per_rank, common_args, self._injector,
                     timeout, prefix, self._shm_threshold,
+                    self.trace, self.trace_capacity,
                 ),
                 name=f"repro-pe-{rank}",
                 daemon=True,
@@ -750,6 +773,7 @@ class ProcessEngine:
 
         results: List[Any] = [None] * num_pes
         failures: List[Tuple[int, BaseException]] = []
+        trace_exports: Dict[int, Dict[str, Any]] = {}
         pending: Dict[Any, int] = {conn: r for r, conn in enumerate(parent_ends)}
         deadline = time.monotonic() + timeout + 30.0
         while pending:
@@ -760,7 +784,7 @@ class ProcessEngine:
             for conn in ready:
                 rank = pending.pop(conn)
                 try:
-                    status, payload, report, state = conn.recv()
+                    status, payload, report, state, trace_export = conn.recv()
                 except (EOFError, OSError):
                     error_event.set()
                     failures.append(
@@ -774,6 +798,8 @@ class ProcessEngine:
                     meter.absorb(report)
                 if state is not None and self._injector is not None:
                     self._injector.merge_state(state)
+                if trace_export is not None:
+                    trace_exports[rank] = trace_export
                 if status == "done":
                     results[rank] = payload
                 else:
@@ -810,7 +836,16 @@ class ProcessEngine:
             raise SpmdError(
                 f"SPMD run on {num_pes} PEs failed: {primary!r}"
             ) from primary
-        return results, meter.report()
+        report = meter.report()
+        if trace_exports:
+            # rank-offset alignment happens inside from_exports: monotonic
+            # timestamps are boot-relative and shared across forked workers,
+            # so the earliest event over all ranks re-bases the run clock
+            report.timeline = Timeline.from_exports(
+                [trace_exports[r] for r in sorted(trace_exports)], num_pes
+            )
+            report.timeline.meta["engine"] = self.name
+        return results, report
 
     def shutdown(self) -> None:
         """Terminate stray workers and sweep shared-memory debris; idempotent.

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .cost_model import DEFAULT_MACHINE, MachineModel
 
@@ -90,6 +90,10 @@ class TrafficReport:
     faults_detected_per_pe: List[int] = field(default_factory=list)
     retries_per_pe: List[int] = field(default_factory=list)
     retransmitted_bytes_per_pe: List[int] = field(default_factory=list)
+    # seconds ranks spent blocked in barrier(), per surrounding phase — its
+    # own account so stragglers never inflate merge/exchange timings (the
+    # phase-attribution fix; folds additively like the byte dicts)
+    barrier_wait_seconds: Dict[str, float] = field(default_factory=dict)
     # bytes the execution engine's data plane *actually moved* on behalf of
     # each PE's sends (pipe frames plus shared-memory payload bytes).  Zero
     # under the thread engine, which moves object references; the processes
@@ -104,6 +108,13 @@ class TrafficReport:
     #: meter was driven outside an engine; "mixed" after folding reports
     #: from different engines)
     engine: str = ""
+    #: observability attachments (:class:`repro.obs.timeline.Timeline` /
+    #: :class:`repro.obs.registry.MetricsSnapshot`), populated only when the
+    #: run traced (``Cluster(trace=True)`` / ``REPRO_TRACE``); ``None``
+    #: otherwise so the accounting path never depends on :mod:`repro.obs`.
+    #: Both obey the fold contract via their own ``merged`` methods.
+    timeline: Optional[Any] = None
+    metrics: Optional[Any] = None
 
     # -- aggregate helpers ---------------------------------------------------------
     @property
@@ -278,6 +289,7 @@ _PHASE_DICT_FIELDS = (
     "overlap_seconds",
     "overlap_window_seconds",
     "route_bytes",
+    "barrier_wait_seconds",
 )
 
 
@@ -367,6 +379,23 @@ def fold_traffic_report(target: "TrafficReport", report: "TrafficReport") -> Non
             target.overlap_weight.setdefault(phase, 0.0)
     target.collectives.extend(report.collectives)
     target.job_retries += report.job_retries
+    # observability attachments fold through their own algebra: timelines
+    # concatenate end-to-end (every span exactly once), metric snapshots
+    # add counters/histograms and keep the later gauges.  ``report``'s
+    # attachments are never mutated — a first fold aliases them into the
+    # accumulator, later folds build fresh merged objects.
+    if report.timeline is not None:
+        target.timeline = (
+            report.timeline
+            if target.timeline is None
+            else target.timeline.merged(report.timeline)
+        )
+    if report.metrics is not None:
+        target.metrics = (
+            report.metrics
+            if target.metrics is None
+            else target.metrics.merged(report.metrics)
+        )
     # engine provenance: first tagged report wins; folding reports produced
     # by different engines yields the explicit marker "mixed"
     if report.engine:
@@ -409,6 +438,7 @@ class TrafficMeter:
         self._phases: Dict[int, str] = {}
         self._overlap: Dict[str, float] = defaultdict(float)
         self._overlap_window: Dict[str, float] = defaultdict(float)
+        self._barrier_wait: Dict[str, float] = defaultdict(float)
         self._forwarded = [0] * num_pes
         self._route_bytes: Dict[str, int] = defaultdict(int)
         self._faults_injected = [0] * num_pes
@@ -467,6 +497,17 @@ class TrafficMeter:
         with self._lock:
             self._overlap[phase] += max(0.0, overlapped)
             self._overlap_window[phase] += max(0.0, window)
+
+    def record_barrier_wait(self, rank: int, phase: str, seconds: float) -> None:
+        """Record ``seconds`` ``rank`` spent blocked in ``barrier()`` during ``phase``.
+
+        Kept out of the phase's implicit wall-clock account: barrier wait is
+        straggler time, and charging it to whatever phase surrounds the
+        barrier would inflate merge/exchange timings (the attribution fix of
+        the observability layer; ``tests/test_obs_trace.py`` pins the split).
+        """
+        with self._lock:
+            self._barrier_wait[phase] += max(0.0, seconds)
 
     def record_route(
         self, rank: int, route: str, nbytes: int, forwarded: int
@@ -569,6 +610,8 @@ class TrafficMeter:
                 self._overlap[phase] += v
             for phase, v in report.overlap_window_seconds.items():
                 self._overlap_window[phase] += v
+            for phase, v in report.barrier_wait_seconds.items():
+                self._barrier_wait[phase] += v
             for route, v in report.route_bytes.items():
                 self._route_bytes[route] += v
             self._collectives.extend(report.collectives)
@@ -608,6 +651,7 @@ class TrafficMeter:
                 collectives=list(self._collectives),
                 overlap_seconds=dict(self._overlap),
                 overlap_window_seconds=dict(self._overlap_window),
+                barrier_wait_seconds=dict(self._barrier_wait),
                 forwarded_bytes_per_pe=list(self._forwarded),
                 route_bytes=dict(self._route_bytes),
                 faults_injected_per_pe=list(self._faults_injected),

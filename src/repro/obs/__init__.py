@@ -1,0 +1,56 @@
+"""Observability: per-rank phase tracing, metrics, and exportable timelines.
+
+The package instruments *where time goes* the way :mod:`repro.net.metrics`
+instruments where bytes go.  Four layers, each usable on its own:
+
+* :mod:`repro.obs.recorder` — a per-rank ring-buffer :class:`Recorder` of
+  monotonic-timestamped events (phase changes, barrier begin/end, comm
+  events, fault/retransmit instants).  The hot-path contract is *zero cost
+  when off*: every instrumentation site is a ``recorder is None`` check.
+* :mod:`repro.obs.timeline` — per-rank :class:`Span` reconstruction from
+  the raw event streams, rank-offset alignment, exclusive phase seconds
+  (barrier wait subtracted), and batch-wise merging.
+* :mod:`repro.obs.registry` — a typed metrics registry (counters, gauges,
+  histograms with labeled series), immutable snapshots with delta/merge
+  algebra, Prometheus text exposition and JSON export.
+* :mod:`repro.obs.exporters` — Chrome-trace/Perfetto JSON, a schema
+  validator for CI, and a terminal phase-waterfall renderer.
+
+:mod:`repro.obs.derive` bridges the layers: it turns a finished
+:class:`~repro.net.metrics.TrafficReport` plus a :class:`Timeline` into a
+labeled :class:`MetricsSnapshot` (strings/sec and peak RSS per stage,
+fault counters as series).
+
+Tracing is enabled by ``Cluster(trace=True)``, the ``REPRO_TRACE``
+environment toggle, or the CLI's ``--trace`` flag; see
+``docs/OBSERVABILITY.md`` for the span taxonomy and overhead bounds.
+"""
+
+from .derive import run_metrics
+from .exporters import (
+    chrome_trace,
+    render_waterfall,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .recorder import DEFAULT_CAPACITY, TRACE_ENV, Recorder, resolve_trace, trace_enabled
+from .registry import MetricsRegistry, MetricsSnapshot
+from .timeline import Instant, Span, Timeline
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "TRACE_ENV",
+    "Recorder",
+    "resolve_trace",
+    "trace_enabled",
+    "Span",
+    "Instant",
+    "Timeline",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "run_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_waterfall",
+]

@@ -30,7 +30,8 @@ from ..dist.exchange import use_async_exchange, use_exchange_topology
 from ..faults.checksum import use_wire_checksums
 from ..faults.plan import FaultPlan
 from ..net.metrics import TrafficMeter, TrafficReport
-from ..net.router import TOPOLOGY_NAMES
+from ..net.router import TOPOLOGY_NAMES, exchange_topology_name
+from ..obs.derive import run_metrics
 from ..mpi.comm import Communicator
 from ..mpi.engine import (
     SpmdError,
@@ -133,6 +134,16 @@ class Cluster:
         cluster, ``None`` (default) inherits the process-level setting.
         Seals add 4 bytes per block (plus a varint sequence number per
         routed frame) to the accounted wire volume.
+    trace:
+        Per-cluster version of the ``REPRO_TRACE`` toggle: ``True`` arms
+        per-rank timeline recording (:mod:`repro.obs`) for sorts on this
+        cluster — the result's report carries ``timeline`` (aligned
+        per-rank phase/barrier spans) and ``metrics`` (a labeled
+        :class:`~repro.obs.registry.MetricsSnapshot`) attachments —
+        ``False`` forces tracing off, ``None`` (default) inherits the
+        process-level setting.  Tracing never changes sorted outputs or
+        byte accounting; overhead is bounded (<5 %, pinned by
+        ``BENCH_PR10.json``) and zero when off.
     registry:
         The :class:`~repro.session.AlgorithmRegistry` resolving algorithm
         names; defaults to the process-wide registry.
@@ -150,6 +161,7 @@ class Cluster:
         timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         wire_checksums: Optional[bool] = None,
+        trace: Optional[bool] = None,
         registry: Optional[AlgorithmRegistry] = None,
     ):
         if num_pes <= 0:
@@ -167,13 +179,17 @@ class Cluster:
         self.timeout = default_timeout() if timeout is None else timeout
         self.fault_plan = fault_plan
         self.wire_checksums = wire_checksums
+        self.trace = trace
         self.registry = registry if registry is not None else default_registry()
         self.engine_name = resolve_engine_name(engine)
-        # only pass the fault seam when a plan is installed: third-party
-        # engine factories without the keyword keep working untouched
+        # only pass the fault/trace seams when explicitly requested:
+        # third-party engine factories without the keywords keep working
+        # untouched (None still lets the engine honour REPRO_TRACE itself)
         engine_kwargs: Dict[str, Any] = {"timeout": self.timeout}
         if fault_plan is not None:
             engine_kwargs["fault_plan"] = fault_plan
+        if trace is not None:
+            engine_kwargs["trace"] = trace
         self._engine = get_engine(self.engine_name)(num_pes, **engine_kwargs)
         # serialises toggle application *together with* the run: the engine
         # has its own run lock, but the packed/async windows must cover the
@@ -266,6 +282,11 @@ class Cluster:
             return blocks
         return distribute_strings(data, self.num_pes, by=spec.distribute_by)
 
+    def _topology_label(self, spec: SortSpec) -> str:
+        """The exchange topology a sort effectively used (for metric labels)."""
+        name = getattr(spec, "exchange_topology", None) or self.exchange_topology
+        return name if name is not None else exchange_topology_name()
+
     @staticmethod
     def _fold_failed_attempts(
         report: TrafficReport, failed: List[TrafficReport]
@@ -357,6 +378,20 @@ class Cluster:
                     failed_reports.append(meter.report())
             if failed_reports:
                 self._fold_failed_attempts(report, failed_reports)
+
+        if report.timeline is not None:
+            # derive the labeled metrics snapshot while the run's context
+            # (algorithm, engine, topology, input size) is still at hand
+            report.metrics = run_metrics(
+                report,
+                report.timeline,
+                labels={
+                    "algorithm": entry.name,
+                    "engine": self.engine_name,
+                    "topology": self._topology_label(spec),
+                },
+                num_strings=sum(len(b) for b in blocks),
+            )
 
         outputs = [r.strings for r in results]
         lcps = [r.lcps for r in results]

@@ -54,6 +54,12 @@ class TestExamples:
         assert "bytes_per_string" in out
         assert "commoncrawl" in out
 
+    def test_trace_quickstart(self):
+        out = _run("trace_quickstart.py", "1200")
+        assert "legend:" in out
+        assert "strings/s" in out
+        assert "(valid)" in out
+
     def test_dn_weak_scaling(self):
         out = _run("dn_weak_scaling.py", "150")
         assert "Weak scaling" in out

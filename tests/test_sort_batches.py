@@ -248,6 +248,86 @@ class TestMergeTrafficReports:
             r.report.origin_bytes_sent for r in res
         )
 
+    def test_timeline_and_metrics_attachments_fold(self):
+        """Traced batch reports merge their observability attachments.
+
+        Timelines concatenate (every span exactly once, dropped counts
+        add); metrics snapshots fold additively for counters and
+        histograms with later-wins gauges; the inputs stay unmutated.
+        The same ``fold_traffic_report`` path also runs on fault-retry
+        folds, so this pins the no-lost/no-double-counted-span contract
+        for retries too.
+        """
+        res = [
+            Cluster(num_pes=2, trace=True).sort(
+                random_strings(60, 1, 8, seed=s), MSSpec()
+            )
+            for s in (1, 2)
+        ]
+        reports = [r.report for r in res]
+        span_counts = [len(r.timeline.spans) for r in reports]
+        sent_before = [
+            r.metrics.value("repro_bytes_sent_total", pe=0) for r in reports
+        ]
+
+        merged = merge_traffic_reports(reports)
+        # spans concatenate: none lost, none double-counted
+        assert len(merged.timeline.spans) == sum(span_counts)
+        assert merged.timeline.dropped_events == sum(
+            r.timeline.dropped_events for r in reports
+        )
+        assert merged.timeline.meta["merged_runs"] == 2
+        # the second run is shifted past the first — spans never interleave
+        assert min(
+            s.start for s in merged.timeline.spans[span_counts[0]:]
+        ) >= reports[0].timeline.duration
+        # counter series add exactly
+        assert merged.metrics.value(
+            "repro_bytes_sent_total", pe=0
+        ) == pytest.approx(sum(sent_before))
+        # the fold never mutates its inputs (batch reports stay reusable)
+        assert [len(r.timeline.spans) for r in reports] == span_counts
+        assert [
+            r.metrics.value("repro_bytes_sent_total", pe=0) for r in reports
+        ] == sent_before
+
+    def test_untraced_reports_fold_without_attachments(self):
+        res = [
+            Cluster(num_pes=2).sort(random_strings(50, 1, 8, seed=s), MSSpec())
+            for s in (3, 4)
+        ]
+        merged = merge_traffic_reports([r.report for r in res])
+        assert merged.timeline is None
+        assert merged.metrics is None
+
+    def test_mixed_traced_and_untraced_fold_keeps_the_timeline(self):
+        traced = Cluster(num_pes=2, trace=True).sort(
+            random_strings(50, 1, 8, seed=5), MSSpec()
+        )
+        plain = Cluster(num_pes=2).sort(
+            random_strings(50, 1, 8, seed=6), MSSpec()
+        )
+        merged = merge_traffic_reports([plain.report, traced.report])
+        assert merged.timeline is not None
+        assert len(merged.timeline.spans) == len(traced.report.timeline.spans)
+
+    def test_barrier_wait_seconds_fold_additively(self):
+        def leaf(seconds):
+            report = TrafficReport(
+                num_pes=2,
+                bytes_sent_per_pe=[0, 0],
+                bytes_received_per_pe=[0, 0],
+                messages_per_pe=[0, 0],
+                phase_bytes={},
+                chars_inspected_per_pe=[0, 0],
+                items_processed_per_pe=[0, 0],
+            )
+            report.barrier_wait_seconds = {"merge": seconds}
+            return report
+
+        merged = merge_traffic_reports([leaf(0.25), leaf(0.5)])
+        assert merged.barrier_wait_seconds["merge"] == pytest.approx(0.75)
+
     def test_mismatched_sizes_rejected(self):
         a = TrafficReport(
             num_pes=1,
